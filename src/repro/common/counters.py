@@ -1,0 +1,200 @@
+"""Lightweight statistics primitives used throughout the simulator.
+
+The cycle-level model increments many counters in its inner loop, so these
+classes are intentionally simple: plain attributes, no locking, no callbacks.
+:class:`StatGroup` provides a hierarchical namespace that can be rendered as
+a flat ``dict`` for reporting and comparison in tests.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, Iterator, Mapping, Optional, Tuple
+
+
+class Counter:
+    """A monotonically increasing event counter."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str, value: int = 0) -> None:
+        self.name = name
+        self.value = int(value)
+
+    def add(self, amount: int = 1) -> None:
+        self.value += amount
+
+    def reset(self) -> None:
+        self.value = 0
+
+    def __int__(self) -> int:
+        return self.value
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Counter({self.name!r}, {self.value})"
+
+
+class RunningMean:
+    """Accumulates a sum and a count; reports the mean lazily.
+
+    Used for per-communication and per-cycle averages (Figures 8, 9 and 10
+    all report this kind of quantity).
+    """
+
+    __slots__ = ("name", "total", "count")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.total = 0.0
+        self.count = 0
+
+    def add(self, value: float, weight: int = 1) -> None:
+        self.total += value
+        self.count += weight
+
+    @property
+    def mean(self) -> float:
+        if self.count == 0:
+            return 0.0
+        return self.total / self.count
+
+    def reset(self) -> None:
+        self.total = 0.0
+        self.count = 0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"RunningMean({self.name!r}, mean={self.mean:.4f}, n={self.count})"
+
+
+class Histogram:
+    """A sparse integer-keyed histogram (e.g. communication distance in hops)."""
+
+    __slots__ = ("name", "_bins")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._bins: Dict[int, int] = defaultdict(int)
+
+    def add(self, key: int, amount: int = 1) -> None:
+        self._bins[int(key)] += amount
+
+    def items(self) -> Iterator[Tuple[int, int]]:
+        return iter(sorted(self._bins.items()))
+
+    def total(self) -> int:
+        return sum(self._bins.values())
+
+    def mean(self) -> float:
+        total = self.total()
+        if total == 0:
+            return 0.0
+        return sum(k * v for k, v in self._bins.items()) / total
+
+    def as_dict(self) -> Dict[int, int]:
+        return dict(sorted(self._bins.items()))
+
+    def reset(self) -> None:
+        self._bins.clear()
+
+    def __getitem__(self, key: int) -> int:
+        return self._bins.get(int(key), 0)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Histogram({self.name!r}, {self.as_dict()})"
+
+
+class StatGroup:
+    """A named collection of counters, means and histograms.
+
+    The group creates members on first access so pipeline code can write
+    ``stats.counter("commits").add()`` without a central registration step.
+    """
+
+    def __init__(self, name: str = "stats") -> None:
+        self.name = name
+        self._counters: Dict[str, Counter] = {}
+        self._means: Dict[str, RunningMean] = {}
+        self._histograms: Dict[str, Histogram] = {}
+        self._scalars: Dict[str, float] = {}
+
+    # -- member factories -------------------------------------------------
+    def counter(self, name: str) -> Counter:
+        if name not in self._counters:
+            self._counters[name] = Counter(name)
+        return self._counters[name]
+
+    def mean(self, name: str) -> RunningMean:
+        if name not in self._means:
+            self._means[name] = RunningMean(name)
+        return self._means[name]
+
+    def histogram(self, name: str) -> Histogram:
+        if name not in self._histograms:
+            self._histograms[name] = Histogram(name)
+        return self._histograms[name]
+
+    def set_scalar(self, name: str, value: float) -> None:
+        self._scalars[name] = float(value)
+
+    def get_scalar(self, name: str, default: Optional[float] = None) -> Optional[float]:
+        return self._scalars.get(name, default)
+
+    # -- reporting --------------------------------------------------------
+    def as_dict(self) -> Dict[str, float]:
+        """Flatten the group into ``{name: value}`` for reporting."""
+        out: Dict[str, float] = {}
+        for name, counter in self._counters.items():
+            out[name] = counter.value
+        for name, mean in self._means.items():
+            out[f"{name}.mean"] = mean.mean
+            out[f"{name}.count"] = mean.count
+        for name, hist in self._histograms.items():
+            out[f"{name}.mean"] = hist.mean()
+            out[f"{name}.total"] = hist.total()
+        out.update(self._scalars)
+        return out
+
+    def merge(self, other: "StatGroup") -> None:
+        """Accumulate another group's raw totals into this one."""
+        for name, counter in other._counters.items():
+            self.counter(name).add(counter.value)
+        for name, mean in other._means.items():
+            mine = self.mean(name)
+            mine.total += mean.total
+            mine.count += mean.count
+        for name, hist in other._histograms.items():
+            mine_h = self.histogram(name)
+            for key, val in hist.items():
+                mine_h.add(key, val)
+        # Scalars are not merged automatically: they are usually derived
+        # quantities (IPC, speedup) that must be recomputed from totals.
+
+    def reset(self) -> None:
+        for counter in self._counters.values():
+            counter.reset()
+        for mean in self._means.values():
+            mean.reset()
+        for hist in self._histograms.values():
+            hist.reset()
+        self._scalars.clear()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"StatGroup({self.name!r}, {len(self.as_dict())} entries)"
+
+
+def format_stats(stats: Mapping[str, float], indent: str = "  ") -> str:
+    """Render a flat stats mapping as an aligned, sorted text block."""
+    if not stats:
+        return f"{indent}(empty)"
+    width = max(len(key) for key in stats)
+    lines = []
+    for key in sorted(stats):
+        value = stats[key]
+        if isinstance(value, float) and not value.is_integer():
+            lines.append(f"{indent}{key:<{width}} {value:.4f}")
+        else:
+            lines.append(f"{indent}{key:<{width}} {value:.0f}")
+    return "\n".join(lines)
+
+
+__all__ = ["Counter", "RunningMean", "Histogram", "StatGroup", "format_stats"]

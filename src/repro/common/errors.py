@@ -1,0 +1,33 @@
+"""Exception hierarchy for the reproduction library.
+
+All exceptions raised intentionally by this package derive from
+:class:`ReproError`, so callers can catch simulator problems without also
+swallowing programming errors.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by :mod:`repro`."""
+
+
+class ConfigurationError(ReproError):
+    """An invalid or inconsistent processor/workload configuration."""
+
+
+class TraceError(ReproError):
+    """A malformed instruction trace (bad operands, dangling dependences...)."""
+
+
+class SteeringError(ReproError):
+    """A steering policy returned an illegal cluster or violated its contract."""
+
+
+class SimulationError(ReproError):
+    """The cycle-level simulation reached an inconsistent state.
+
+    This usually indicates a deadlock (no forward progress for a long time)
+    or an internal invariant violation; it is a bug either in the simulator
+    or in a user-provided policy, never an expected runtime condition.
+    """

@@ -1,0 +1,170 @@
+"""Core taxonomies shared across the simulator.
+
+The enumerations in this module classify dynamic instructions, functional
+units, register files and interconnect topologies.  They mirror the
+vocabulary of the paper:
+
+* instruction classes follow the latency table of Table 2 (integer ALU,
+  integer multiply/divide, FP add, FP multiply/divide, loads, stores,
+  branches);
+* functional-unit types follow Section 4.2 ("1 unit of each type per
+  cluster" for the 1 INT + 1 FP configuration);
+* :class:`Topology` distinguishes the proposed ring clustered processor
+  (``RING``) from the conventional clustered baseline (``CONV``).
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class InstrClass(enum.IntEnum):
+    """Dynamic instruction classes recognised by the pipeline.
+
+    The integer values are stable and compact so they can be used to index
+    small lookup tables in the hot simulation loop.
+    """
+
+    INT_ALU = 0
+    INT_MUL = 1
+    INT_DIV = 2
+    FP_ADD = 3
+    FP_MUL = 4
+    FP_DIV = 5
+    LOAD = 6
+    FP_LOAD = 7
+    STORE = 8
+    FP_STORE = 9
+    BRANCH = 10
+    NOP = 11
+
+    @property
+    def is_memory(self) -> bool:
+        """Whether the instruction accesses the data cache."""
+        return self in MEM_CLASSES
+
+    @property
+    def is_load(self) -> bool:
+        return self in (InstrClass.LOAD, InstrClass.FP_LOAD)
+
+    @property
+    def is_store(self) -> bool:
+        return self in (InstrClass.STORE, InstrClass.FP_STORE)
+
+    @property
+    def is_branch(self) -> bool:
+        return self is InstrClass.BRANCH
+
+    @property
+    def is_fp_compute(self) -> bool:
+        """FP arithmetic executed on the FP datapath of a cluster."""
+        return self in (InstrClass.FP_ADD, InstrClass.FP_MUL, InstrClass.FP_DIV)
+
+    @property
+    def uses_int_pipeline(self) -> bool:
+        """Whether the instruction occupies an integer issue slot.
+
+        Loads, stores and branches perform their address/condition
+        computation on the integer datapath (Section 3.2: "the address
+        calculation of these instructions is sent to the integer ring").
+        """
+        return not self.is_fp_compute and self is not InstrClass.NOP
+
+
+class FuType(enum.IntEnum):
+    """Functional-unit types available inside one cluster."""
+
+    INT_ALU = 0
+    INT_MULDIV = 1
+    FP_ALU = 2
+    FP_MULDIV = 3
+
+    @property
+    def is_integer(self) -> bool:
+        return self in (FuType.INT_ALU, FuType.INT_MULDIV)
+
+
+class RegClass(enum.IntEnum):
+    """Architectural/physical register file classes."""
+
+    INT = 0
+    FP = 1
+
+
+class Topology(enum.Enum):
+    """Inter-cluster organisation of the processor.
+
+    ``RING``
+        The proposed organisation: results of cluster *i* are written into
+        the register file of cluster *(i+1) mod N*; there are no
+        intra-cluster bypasses and the buses are unidirectional, following
+        the ring.
+
+    ``CONV``
+        The conventional clustered baseline: results stay in the producing
+        cluster, intra-cluster bypasses allow back-to-back issue inside a
+        cluster, and with two buses one runs in each direction.
+    """
+
+    RING = "ring"
+    CONV = "conv"
+
+    @property
+    def is_ring(self) -> bool:
+        return self is Topology.RING
+
+
+#: Instruction classes executed on the integer datapath.
+INT_CLASSES = frozenset(
+    {
+        InstrClass.INT_ALU,
+        InstrClass.INT_MUL,
+        InstrClass.INT_DIV,
+        InstrClass.LOAD,
+        InstrClass.FP_LOAD,
+        InstrClass.STORE,
+        InstrClass.FP_STORE,
+        InstrClass.BRANCH,
+    }
+)
+
+#: Instruction classes executed on the floating-point datapath.
+FP_CLASSES = frozenset({InstrClass.FP_ADD, InstrClass.FP_MUL, InstrClass.FP_DIV})
+
+#: Instruction classes that access the data cache.
+MEM_CLASSES = frozenset(
+    {InstrClass.LOAD, InstrClass.FP_LOAD, InstrClass.STORE, InstrClass.FP_STORE}
+)
+
+#: Mapping from instruction class to the functional-unit type that executes it.
+FU_FOR_CLASS = {
+    InstrClass.INT_ALU: FuType.INT_ALU,
+    InstrClass.INT_MUL: FuType.INT_MULDIV,
+    InstrClass.INT_DIV: FuType.INT_MULDIV,
+    InstrClass.FP_ADD: FuType.FP_ALU,
+    InstrClass.FP_MUL: FuType.FP_MULDIV,
+    InstrClass.FP_DIV: FuType.FP_MULDIV,
+    InstrClass.LOAD: FuType.INT_ALU,
+    InstrClass.FP_LOAD: FuType.INT_ALU,
+    InstrClass.STORE: FuType.INT_ALU,
+    InstrClass.FP_STORE: FuType.INT_ALU,
+    InstrClass.BRANCH: FuType.INT_ALU,
+    InstrClass.NOP: FuType.INT_ALU,
+}
+
+#: Register class written by each instruction class (``None`` when the
+#: instruction produces no register result).
+DEST_REGCLASS_FOR_CLASS = {
+    InstrClass.INT_ALU: RegClass.INT,
+    InstrClass.INT_MUL: RegClass.INT,
+    InstrClass.INT_DIV: RegClass.INT,
+    InstrClass.FP_ADD: RegClass.FP,
+    InstrClass.FP_MUL: RegClass.FP,
+    InstrClass.FP_DIV: RegClass.FP,
+    InstrClass.LOAD: RegClass.INT,
+    InstrClass.FP_LOAD: RegClass.FP,
+    InstrClass.STORE: None,
+    InstrClass.FP_STORE: None,
+    InstrClass.BRANCH: None,
+    InstrClass.NOP: None,
+}
