@@ -1,0 +1,106 @@
+#!/usr/bin/env python
+"""Micro-benchmark for the stats primitives (`repro.common.counters`).
+
+Measures the two hot reporting paths the engine leans on:
+
+* ``Histogram.add`` + ``Histogram.mean`` — the mean is cached incrementally,
+  so it must stay O(1) regardless of bin count;
+* ``StatGroup.as_dict`` — must be O(members), i.e. flat in the number of
+  histogram bins, since sweeps flatten thousands of groups.
+
+Writes ``BENCH_stats.json`` at the repo root (override with ``--out``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), os.pardir, "src"))
+
+from repro.common.counters import Histogram, StatGroup
+
+
+def bench_histogram(n_ops: int, n_bins: int) -> dict:
+    hist = Histogram("bench")
+    t0 = time.perf_counter()
+    for i in range(n_ops):
+        hist.add(i % n_bins)
+    add_elapsed = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    acc = 0.0
+    for _ in range(n_ops):
+        acc += hist.mean()
+    mean_elapsed = time.perf_counter() - t0
+    assert acc >= 0
+    return {
+        "n_ops": n_ops,
+        "n_bins": n_bins,
+        "add_per_sec": round(n_ops / add_elapsed),
+        "mean_per_sec": round(n_ops / mean_elapsed),
+    }
+
+
+def bench_as_dict(n_calls: int, n_members: int, n_bins: int) -> dict:
+    group = StatGroup("bench")
+    for m in range(n_members):
+        group.counter(f"counter{m}").add(m)
+        group.mean(f"mean{m}").add(float(m))
+        hist = group.histogram(f"hist{m}")
+        for b in range(n_bins):
+            hist.add(b, b + 1)
+    t0 = time.perf_counter()
+    for _ in range(n_calls):
+        group.as_dict()
+    elapsed = time.perf_counter() - t0
+    return {
+        "n_calls": n_calls,
+        "n_members": n_members,
+        "bins_per_histogram": n_bins,
+        "as_dict_per_sec": round(n_calls / elapsed),
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--ops", type=int, default=500_000)
+    parser.add_argument("--calls", type=int, default=5_000)
+    parser.add_argument("--out", default=None)
+    args = parser.parse_args(argv)
+
+    repo_root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+    out_path = args.out or os.path.join(repo_root, "BENCH_stats.json")
+
+    report = {
+        "histogram_small": bench_histogram(args.ops, n_bins=8),
+        "histogram_large": bench_histogram(args.ops, n_bins=4096),
+        "as_dict_small_bins": bench_as_dict(args.calls, n_members=20, n_bins=8),
+        "as_dict_large_bins": bench_as_dict(args.calls, n_members=20, n_bins=2048),
+    }
+    # The point of the caching work: mean() and as_dict() must not degrade
+    # with bin count.  Allow generous slack for timer noise.
+    small, large = report["histogram_small"], report["histogram_large"]
+    if large["mean_per_sec"] < small["mean_per_sec"] / 5:
+        print("FAIL: Histogram.mean degrades with bin count", file=sys.stderr)
+        return 1
+    d_small, d_large = report["as_dict_small_bins"], report["as_dict_large_bins"]
+    if d_large["as_dict_per_sec"] < d_small["as_dict_per_sec"] / 5:
+        print("FAIL: StatGroup.as_dict degrades with histogram bin count",
+              file=sys.stderr)
+        return 1
+
+    with open(out_path, "w") as fh:
+        json.dump(report, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    for name, entry in report.items():
+        print(f"{name}: {entry}")
+    print(f"wrote {out_path}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

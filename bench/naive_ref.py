@@ -1,0 +1,326 @@
+"""Deliberately naive object-per-instruction reference simulator.
+
+This module exists only for the benchmark harness: it implements *exactly*
+the timing model of :mod:`repro.engine.kernel`, but in the straightforward
+object-oriented style the SoA kernel deliberately avoids — one mutable
+``NaiveInstruction`` object per dynamic instruction holding references to its
+producer objects, ``FunctionalUnit``/``NaiveCluster``/``Frontend`` classes
+with a method call per pipeline stage, and latency/FU tables kept as dicts
+keyed by enum members.  Because the model is identical, the benchmark asserts
+cycle-for-cycle agreement with the SoA kernel before trusting the speedup
+number: the reference is the correctness oracle, and the measured ratio is
+the price of the object-per-instruction representation.
+
+Kept out of the library on purpose; nothing under ``src/`` imports it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.common.config import ProcessorConfig
+from repro.common.errors import ConfigurationError
+from repro.common.types import (
+    DEST_REGCLASS_FOR_CLASS,
+    FU_FOR_CLASS,
+    FuType,
+    InstrClass,
+    Topology,
+)
+from repro.engine.trace import (
+    FLAG_L1_MISS,
+    FLAG_L2_MISS,
+    FLAG_MISPREDICT,
+    Trace,
+)
+
+
+@dataclass
+class NaiveInstruction:
+    """One dynamic instruction, fully materialised as an object."""
+
+    index: int
+    opclass: InstrClass
+    src1: Optional["NaiveInstruction"]
+    src2: Optional["NaiveInstruction"]
+    dst_reg: int
+    flags: int
+    cluster: Optional[int] = None
+    issue_cycle: Optional[int] = None
+    complete_cycle: Optional[int] = None
+    grant_cycle: Optional[int] = None
+
+    @property
+    def produces_value(self) -> bool:
+        return DEST_REGCLASS_FOR_CLASS[self.opclass] is not None
+
+    @property
+    def fu_type(self) -> FuType:
+        return FU_FOR_CLASS[self.opclass]
+
+
+class FunctionalUnit:
+    def __init__(self, kind: FuType) -> None:
+        self.kind = kind
+        self.free_at = 0
+
+    def reserve(self, cycle: int, occupancy: int) -> None:
+        self.free_at = cycle + occupancy
+
+
+class NaiveCluster:
+    def __init__(self, index: int, cfg: ProcessorConfig) -> None:
+        self.index = index
+        self.issue_width = cfg.cluster.issue_width
+        self.units: Dict[FuType, List[FunctionalUnit]] = {
+            kind: [FunctionalUnit(kind) for _ in range(cfg.cluster.fu_counts[kind])]
+            for kind in FuType
+        }
+        self.issue_slots: Dict[int, int] = {}
+        self.bus_slots: Dict[int, int] = {}
+
+    def earliest_unit(self, kind: FuType) -> FunctionalUnit:
+        best = self.units[kind][0]
+        for unit in self.units[kind][1:]:
+            if unit.free_at < best.free_at:
+                best = unit
+        return best
+
+    def find_issue_slot(self, cycle: int) -> int:
+        while self.issue_slots.get(cycle, 0) >= self.issue_width:
+            cycle += 1
+        self.issue_slots[cycle] = self.issue_slots.get(cycle, 0) + 1
+        return cycle
+
+
+class Interconnect:
+    """Bus arbitration and result-availability rules for both topologies."""
+
+    def __init__(self, cfg: ProcessorConfig, clusters: List[NaiveCluster]) -> None:
+        self.topology = cfg.topology
+        self.n_clusters = cfg.n_clusters
+        self.hop_latency = cfg.bus.hop_latency
+        self.bandwidth = cfg.bus.bandwidth
+        self.writeback_latency = cfg.bus.writeback_latency
+        self.clusters = clusters
+        self.communications = 0
+        self.hop_histogram: Dict[int, int] = {}
+
+    def inject(self, cluster: NaiveCluster, cycle: int) -> int:
+        busy = cluster.bus_slots
+        while busy.get(cycle, 0) >= self.bandwidth:
+            cycle += 1
+        busy[cycle] = busy.get(cycle, 0) + 1
+        self.communications += 1
+        return cycle
+
+    def availability(self, producer: NaiveInstruction, consumer_cluster: int) -> int:
+        pc = producer.cluster
+        if self.topology is Topology.RING:
+            hops = (consumer_cluster - pc - 1) % self.n_clusters + 1
+            self.hop_histogram[hops] = self.hop_histogram.get(hops, 0) + 1
+            return producer.grant_cycle + hops * self.hop_latency + self.writeback_latency
+        if consumer_cluster == pc:
+            return producer.complete_cycle  # intra-cluster bypass
+        if producer.grant_cycle is None:
+            producer.grant_cycle = self.inject(
+                self.clusters[pc], producer.complete_cycle + self.writeback_latency
+            )
+        distance = abs(consumer_cluster - pc)
+        if self.n_clusters - distance < distance:
+            distance = self.n_clusters - distance
+        self.hop_histogram[distance] = self.hop_histogram.get(distance, 0) + 1
+        return producer.grant_cycle + distance * self.hop_latency + self.writeback_latency
+
+
+class Frontend:
+    def __init__(self, cfg: ProcessorConfig) -> None:
+        self.fetch_width = cfg.fetch_width
+        self.window_size = cfg.window_size
+        self.frontend_depth = cfg.frontend_depth
+        self.fetch_cycle = 0
+        self.fetched_this_cycle = 0
+        self.redirect = 0
+        self.rob: List[int] = [0] * cfg.window_size
+
+    def fetch(self, instr: NaiveInstruction) -> int:
+        if self.fetched_this_cycle >= self.fetch_width:
+            self.fetch_cycle += 1
+            self.fetched_this_cycle = 0
+        if self.redirect > self.fetch_cycle:
+            self.fetch_cycle = self.redirect
+            self.fetched_this_cycle = 0
+        slot_free = (
+            self.rob[instr.index % self.window_size]
+            if instr.index >= self.window_size
+            else 0
+        )
+        if slot_free > self.fetch_cycle:
+            self.fetch_cycle = slot_free
+            self.fetched_this_cycle = 0
+        self.fetched_this_cycle += 1
+        return self.fetch_cycle + self.frontend_depth
+
+    def redirect_at(self, cycle: int) -> None:
+        if cycle > self.redirect:
+            self.redirect = cycle
+
+    def retire(self, instr: NaiveInstruction, last_retire: int) -> int:
+        retire = max(instr.complete_cycle, last_retire)
+        self.rob[instr.index % self.window_size] = retire
+        return retire
+
+
+class NaivePipeline:
+    """Object-per-instruction twin of :class:`repro.engine.Pipeline`."""
+
+    def __init__(self, config: ProcessorConfig) -> None:
+        self.config = config
+
+    def build_instructions(self, trace: Trace) -> List[NaiveInstruction]:
+        instructions: List[NaiveInstruction] = []
+        for i in range(len(trace)):
+            s1 = trace.src1[i]
+            s2 = trace.src2[i]
+            instructions.append(
+                NaiveInstruction(
+                    index=i,
+                    opclass=InstrClass(trace.opclass[i]),
+                    src1=instructions[s1] if s1 >= 0 else None,
+                    src2=instructions[s2] if s2 >= 0 else None,
+                    dst_reg=trace.dst[i],
+                    flags=trace.flags[i],
+                )
+            )
+        return instructions
+
+    def run(self, trace: Trace) -> Dict[str, object]:
+        cfg = self.config
+        for k in set(trace.opclass):
+            klass = InstrClass(k)
+            if klass is not InstrClass.NOP and not cfg.cluster.fu_counts[FU_FOR_CLASS[klass]]:
+                raise ConfigurationError(
+                    f"trace {trace.name!r} contains {klass.name} but the cluster "
+                    "configuration has zero units of its functional-unit type"
+                )
+        latencies = {
+            InstrClass.INT_ALU: cfg.latencies.int_alu,
+            InstrClass.INT_MUL: cfg.latencies.int_mul,
+            InstrClass.INT_DIV: cfg.latencies.int_div,
+            InstrClass.FP_ADD: cfg.latencies.fp_add,
+            InstrClass.FP_MUL: cfg.latencies.fp_mul,
+            InstrClass.FP_DIV: cfg.latencies.fp_div,
+            InstrClass.LOAD: cfg.latencies.load,
+            InstrClass.FP_LOAD: cfg.latencies.load,
+            InstrClass.STORE: cfg.latencies.store,
+            InstrClass.FP_STORE: cfg.latencies.store,
+            InstrClass.BRANCH: cfg.latencies.branch,
+            InstrClass.NOP: 1,
+        }
+        occupancy = {
+            klass: (lat if klass in (InstrClass.INT_DIV, InstrClass.FP_DIV) else 1)
+            for klass, lat in latencies.items()
+        }
+
+        clusters = [NaiveCluster(c, cfg) for c in range(cfg.n_clusters)]
+        interconnect = Interconnect(cfg, clusters)
+        frontend = Frontend(cfg)
+        instructions = self.build_instructions(trace)
+
+        is_ring = cfg.topology is Topology.RING
+        steer = cfg.steering
+        rr_counter = 0
+        last_retire = 0
+        mispredicts = 0
+        l1_misses = 0
+        l2_misses = 0
+
+        for instr in instructions:
+            ready = frontend.fetch(instr)
+
+            # Steering.
+            if steer == "dependence":
+                critical = None
+                if instr.src1 is not None:
+                    critical = instr.src1
+                    if (
+                        instr.src2 is not None
+                        and instr.src2.complete_cycle > instr.src1.complete_cycle
+                    ):
+                        critical = instr.src2
+                elif instr.src2 is not None:
+                    critical = instr.src2
+                if critical is not None:
+                    base = critical.cluster
+                    cluster_idx = (base + 1) % cfg.n_clusters if is_ring else base
+                else:
+                    cluster_idx = rr_counter % cfg.n_clusters
+                    rr_counter += 1
+            elif steer == "modulo":
+                cluster_idx = (instr.index // cfg.fetch_width) % cfg.n_clusters
+            else:
+                cluster_idx = instr.index % cfg.n_clusters
+            instr.cluster = cluster_idx
+            cluster = clusters[cluster_idx]
+
+            # Operand availability.
+            for producer in (instr.src1, instr.src2):
+                if producer is None:
+                    continue
+                avail = interconnect.availability(producer, cluster_idx)
+                if avail > ready:
+                    ready = avail
+
+            # Issue.
+            if instr.opclass is InstrClass.NOP:
+                issue = ready
+            else:
+                unit = cluster.earliest_unit(instr.fu_type)
+                issue = max(ready, unit.free_at)
+                issue = cluster.find_issue_slot(issue)
+                unit.reserve(issue, occupancy[instr.opclass])
+            instr.issue_cycle = issue
+
+            # Execute.
+            latency = latencies[instr.opclass]
+            if instr.flags:
+                if instr.flags & FLAG_MISPREDICT:
+                    mispredicts += 1
+                if instr.flags & FLAG_L1_MISS:
+                    l1_misses += 1
+                    if instr.opclass.is_load:
+                        latency += cfg.memory.l1d.miss_penalty
+                        if instr.flags & FLAG_L2_MISS:
+                            latency += cfg.memory.l2_miss_penalty
+                    if instr.flags & FLAG_L2_MISS:
+                        l2_misses += 1
+            instr.complete_cycle = issue + latency
+
+            # Writeback / interconnect.
+            if instr.produces_value:
+                if is_ring:
+                    instr.grant_cycle = interconnect.inject(
+                        cluster, instr.complete_cycle
+                    )
+            elif instr.opclass.is_branch and instr.flags & FLAG_MISPREDICT:
+                frontend.redirect_at(
+                    instr.complete_cycle + cfg.branch.mispredict_penalty
+                )
+
+            last_retire = frontend.retire(instr, last_retire)
+
+        n = len(instructions)
+        cycles = last_retire + 1 if n else 0
+        return {
+            "n_instructions": n,
+            "cycles": cycles,
+            "ipc": n / cycles if cycles else 0.0,
+            "mispredicts": mispredicts,
+            "l1_misses": l1_misses,
+            "l2_misses": l2_misses,
+            "communications": interconnect.communications,
+        }
+
+
+__all__ = ["NaivePipeline", "NaiveInstruction"]

@@ -1,0 +1,183 @@
+#!/usr/bin/env python
+"""Engine benchmark: SoA kernel throughput, ring vs conv at 2/4/8 clusters.
+
+Measures simulated-instructions-per-second of the struct-of-arrays kernel for
+both topologies across cluster counts, then races the deliberately naive
+object-per-instruction reference (``bench/naive_ref.py``) on the same trace
+and configuration.  The naive model is the correctness oracle — the harness
+asserts cycle-for-cycle agreement before reporting the speedup — and the PR
+acceptance bar requires the SoA kernel to be at least ``--min-speedup``
+(default 3x) faster.
+
+Writes ``BENCH_engine.json`` at the repo root (override with ``--out``).
+
+Usage::
+
+    python bench/run_bench.py             # full run (~200k-instruction trace)
+    python bench/run_bench.py --smoke     # CI-sized quick run
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+from typing import Dict
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), os.pardir, "src"))
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+
+from repro.common.config import ProcessorConfig
+from repro.common.types import Topology
+from repro.engine import Pipeline, simulate
+from repro.workloads import generate_trace
+
+from naive_ref import NaivePipeline
+
+CLUSTER_COUNTS = (2, 4, 8)
+TOPOLOGIES = (Topology.RING, Topology.CONV)
+
+
+def time_best_of(fn, repeats: int) -> float:
+    best = float("inf")
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        fn()
+        elapsed = time.perf_counter() - t0
+        if elapsed < best:
+            best = elapsed
+    return best
+
+
+def bench_soa(trace, repeats: int) -> Dict[str, Dict[str, Dict[str, float]]]:
+    out: Dict[str, Dict[str, Dict[str, float]]] = {}
+    n = len(trace)
+    for topology in TOPOLOGIES:
+        topo_key = topology.value
+        out[topo_key] = {}
+        for n_clusters in CLUSTER_COUNTS:
+            cfg = ProcessorConfig(n_clusters=n_clusters, topology=topology)
+            result = simulate(trace, cfg)  # warm + collect stats once
+            elapsed = time_best_of(lambda c=cfg: simulate(trace, c), repeats)
+            ips = n / elapsed
+            out[topo_key][str(n_clusters)] = {
+                "instructions": n,
+                "cycles": result.cycles,
+                "ipc": round(result.ipc, 4),
+                "seconds": round(elapsed, 4),
+                "instr_per_sec": round(ips),
+            }
+            print(
+                f"  soa  {topo_key:4s} x{n_clusters}: "
+                f"ipc={result.ipc:6.3f}  {ips / 1e3:8.0f} kinstr/s"
+            )
+    return out
+
+
+def bench_naive_comparison(trace, repeats: int, n_clusters: int = 4):
+    """Race naive vs SoA on the same trace/config for both topologies."""
+    n = len(trace)
+    comparison = {}
+    for topology in TOPOLOGIES:
+        cfg = ProcessorConfig(n_clusters=n_clusters, topology=topology)
+        naive = NaivePipeline(cfg)
+        naive_result = naive.run(trace)
+        soa_result = simulate(trace, cfg)
+        if naive_result["cycles"] != soa_result.cycles:
+            raise AssertionError(
+                f"model divergence ({topology.value}): naive={naive_result['cycles']} "
+                f"cycles, soa={soa_result.cycles} cycles"
+            )
+        if naive_result["communications"] != soa_result.communications:
+            raise AssertionError(
+                f"model divergence ({topology.value}): communication counts differ"
+            )
+        naive_s = time_best_of(lambda: naive.run(trace), repeats)
+        soa_s = time_best_of(lambda: simulate(trace, cfg), repeats)
+        speedup = naive_s / soa_s
+        comparison[topology.value] = {
+            "n_clusters": n_clusters,
+            "instructions": n,
+            "cycles_match": True,
+            "naive_instr_per_sec": round(n / naive_s),
+            "soa_instr_per_sec": round(n / soa_s),
+            "speedup": round(speedup, 2),
+        }
+        print(
+            f"  ref  {topology.value:4s} x{n_clusters}: naive {n / naive_s / 1e3:6.0f} "
+            f"kinstr/s vs soa {n / soa_s / 1e3:6.0f} kinstr/s  -> {speedup:.2f}x"
+        )
+    return comparison
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--n", type=int, default=200_000,
+                        help="trace length for SoA throughput runs")
+    parser.add_argument("--naive-n", type=int, default=50_000,
+                        help="trace length for the naive-vs-SoA race")
+    parser.add_argument("--repeats", type=int, default=3)
+    parser.add_argument("--mix", default="int_heavy")
+    parser.add_argument("--seed", type=int, default=2005)
+    parser.add_argument("--min-speedup", type=float, default=3.0)
+    parser.add_argument("--smoke", action="store_true",
+                        help="CI-sized run (small traces, 1 repeat)")
+    parser.add_argument("--out", default=None,
+                        help="output JSON path (default: <repo>/BENCH_engine.json)")
+    args = parser.parse_args(argv)
+
+    if args.smoke:
+        args.n = min(args.n, 20_000)
+        args.naive_n = min(args.naive_n, 10_000)
+        args.repeats = 1
+
+    repo_root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+    out_path = args.out or os.path.join(repo_root, "BENCH_engine.json")
+
+    print(f"generating {args.mix!r} traces (n={args.n}, naive_n={args.naive_n}, "
+          f"seed={args.seed})")
+    trace = generate_trace(args.mix, args.n, seed=args.seed)
+    naive_trace = generate_trace(args.mix, args.naive_n, seed=args.seed)
+
+    print(f"SoA kernel throughput (best of {args.repeats}):")
+    soa = bench_soa(trace, args.repeats)
+    print(f"naive object-per-instruction reference race (best of {args.repeats}):")
+    comparison = bench_naive_comparison(naive_trace, args.repeats)
+
+    worst_speedup = min(entry["speedup"] for entry in comparison.values())
+    report = {
+        "meta": {
+            "mix": args.mix,
+            "seed": args.seed,
+            "n_instructions": args.n,
+            "naive_n_instructions": args.naive_n,
+            "repeats": args.repeats,
+            "smoke": args.smoke,
+            "python": sys.version.split()[0],
+        },
+        "soa": soa,
+        "naive_comparison": comparison,
+        "min_speedup_required": args.min_speedup,
+        "worst_speedup": worst_speedup,
+    }
+    with open(out_path, "w") as fh:
+        json.dump(report, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    print(f"wrote {out_path}")
+
+    if worst_speedup < args.min_speedup:
+        print(
+            f"FAIL: SoA kernel is only {worst_speedup:.2f}x faster than the "
+            f"naive reference (required: {args.min_speedup:.1f}x)",
+            file=sys.stderr,
+        )
+        return 1
+    print(f"OK: SoA kernel >= {args.min_speedup:.1f}x naive "
+          f"(worst case {worst_speedup:.2f}x)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

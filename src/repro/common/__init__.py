@@ -27,7 +27,13 @@ from repro.common.config import (
     MemoryHierarchyConfig,
     ProcessorConfig,
 )
-from repro.common.counters import Counter, Histogram, RunningMean, StatGroup
+from repro.common.counters import (
+    Counter,
+    Histogram,
+    RunningMean,
+    StatGroup,
+    format_stats,
+)
 from repro.common.errors import (
     ConfigurationError,
     ReproError,
@@ -56,6 +62,7 @@ __all__ = [
     "Histogram",
     "RunningMean",
     "StatGroup",
+    "format_stats",
     "ReproError",
     "ConfigurationError",
     "SimulationError",

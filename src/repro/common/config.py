@@ -1,0 +1,254 @@
+"""Processor configuration dataclasses.
+
+These dataclasses encode the machine parameters of the paper's evaluation
+(Table 2 and Section 4): functional-unit latencies, per-cluster resources,
+the inter-cluster bus, the memory hierarchy and the branch predictor.  Every
+dataclass validates itself in ``__post_init__`` and raises
+:class:`~repro.common.errors.ConfigurationError` on inconsistent values so a
+bad configuration fails fast instead of corrupting a multi-hour sweep.
+
+The defaults model the 4-cluster machine of the paper: one integer ALU, one
+integer mul/div unit, one FP adder and one FP mul/div unit per cluster
+(Section 4.2), a one-cycle-per-hop inter-cluster bus, and the latencies of
+Table 2.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.common.errors import ConfigurationError
+from repro.common.types import FuType, InstrClass, Topology
+
+#: Steering policies understood by the pipeline kernel.
+STEERING_POLICIES = ("dependence", "modulo", "round_robin")
+
+
+def _require(condition: bool, message: str) -> None:
+    if not condition:
+        raise ConfigurationError(message)
+
+
+def _positive(name: str, value: int) -> None:
+    _require(isinstance(value, int) and value >= 1, f"{name} must be a positive integer, got {value!r}")
+
+
+def _non_negative(name: str, value: int) -> None:
+    _require(isinstance(value, int) and value >= 0, f"{name} must be a non-negative integer, got {value!r}")
+
+
+@dataclass(frozen=True)
+class FuLatencies:
+    """Execution latencies in cycles per instruction class (Table 2).
+
+    ``int_div`` and ``fp_div`` are executed on non-pipelined units; every
+    other class issues back-to-back on a fully pipelined unit.
+    """
+
+    int_alu: int = 1
+    int_mul: int = 3
+    int_div: int = 20
+    fp_add: int = 2
+    fp_mul: int = 4
+    fp_div: int = 12
+    load: int = 2  # L1 hit latency; misses add the cache miss penalty
+    store: int = 1
+    branch: int = 1
+
+    def __post_init__(self) -> None:
+        for f in dataclasses.fields(self):
+            _positive(f"FuLatencies.{f.name}", getattr(self, f.name))
+
+    def table(self) -> List[int]:
+        """Flat latency table indexed by ``int(InstrClass)`` for the hot loop."""
+        t = [1] * len(InstrClass)
+        t[InstrClass.INT_ALU] = self.int_alu
+        t[InstrClass.INT_MUL] = self.int_mul
+        t[InstrClass.INT_DIV] = self.int_div
+        t[InstrClass.FP_ADD] = self.fp_add
+        t[InstrClass.FP_MUL] = self.fp_mul
+        t[InstrClass.FP_DIV] = self.fp_div
+        t[InstrClass.LOAD] = self.load
+        t[InstrClass.FP_LOAD] = self.load
+        t[InstrClass.STORE] = self.store
+        t[InstrClass.FP_STORE] = self.store
+        t[InstrClass.BRANCH] = self.branch
+        t[InstrClass.NOP] = 1
+        return t
+
+    def pipelined_table(self) -> List[bool]:
+        """Whether the unit for each class accepts a new op every cycle."""
+        t = [True] * len(InstrClass)
+        t[InstrClass.INT_DIV] = False
+        t[InstrClass.FP_DIV] = False
+        return t
+
+
+@dataclass(frozen=True)
+class ClusterConfig:
+    """Resources of a single cluster (Section 4.2)."""
+
+    issue_width: int = 2
+    fu_counts: Tuple[int, int, int, int] = (1, 1, 1, 1)  # indexed by FuType
+    int_regs: int = 32
+    fp_regs: int = 32
+
+    def __post_init__(self) -> None:
+        _positive("ClusterConfig.issue_width", self.issue_width)
+        _require(
+            len(self.fu_counts) == len(FuType),
+            f"ClusterConfig.fu_counts must have {len(FuType)} entries "
+            f"(one per FuType), got {len(self.fu_counts)}",
+        )
+        for fu in FuType:
+            _non_negative(f"ClusterConfig.fu_counts[{fu.name}]", self.fu_counts[fu])
+        _require(
+            any(self.fu_counts[fu] > 0 for fu in FuType if fu.is_integer),
+            "each cluster needs at least one integer unit (loads/stores/branches "
+            "compute their address on the integer datapath)",
+        )
+        _positive("ClusterConfig.int_regs", self.int_regs)
+        _positive("ClusterConfig.fp_regs", self.fp_regs)
+
+
+@dataclass(frozen=True)
+class BusConfig:
+    """Inter-cluster interconnect parameters.
+
+    ``RING`` uses unidirectional buses following the ring; ``CONV`` has one
+    bus per direction so a value travels the shorter way around.
+    ``hop_latency`` is the cycles a value takes to advance one cluster;
+    ``bandwidth`` is the number of results a cluster can inject per cycle.
+    """
+
+    hop_latency: int = 1
+    bandwidth: int = 1
+    writeback_latency: int = 1
+
+    def __post_init__(self) -> None:
+        _positive("BusConfig.hop_latency", self.hop_latency)
+        _positive("BusConfig.bandwidth", self.bandwidth)
+        _non_negative("BusConfig.writeback_latency", self.writeback_latency)
+
+
+@dataclass(frozen=True)
+class CacheConfig:
+    """A single cache level."""
+
+    size_kb: int = 32
+    line_bytes: int = 64
+    associativity: int = 4
+    hit_latency: int = 2
+    miss_penalty: int = 10
+
+    def __post_init__(self) -> None:
+        _positive("CacheConfig.size_kb", self.size_kb)
+        _positive("CacheConfig.line_bytes", self.line_bytes)
+        _require(
+            self.line_bytes & (self.line_bytes - 1) == 0,
+            f"CacheConfig.line_bytes must be a power of two, got {self.line_bytes}",
+        )
+        _positive("CacheConfig.associativity", self.associativity)
+        _positive("CacheConfig.hit_latency", self.hit_latency)
+        _non_negative("CacheConfig.miss_penalty", self.miss_penalty)
+        lines = self.size_kb * 1024 // self.line_bytes
+        _require(
+            lines % self.associativity == 0,
+            "CacheConfig: line count must be divisible by associativity "
+            f"({lines} lines, {self.associativity}-way)",
+        )
+
+
+@dataclass(frozen=True)
+class MemoryHierarchyConfig:
+    """Data-side memory hierarchy: L1D plus a flat penalty beyond it."""
+
+    l1d: CacheConfig = field(default_factory=CacheConfig)
+    l2_miss_penalty: int = 100
+
+    def __post_init__(self) -> None:
+        _non_negative("MemoryHierarchyConfig.l2_miss_penalty", self.l2_miss_penalty)
+
+
+@dataclass(frozen=True)
+class BranchPredictorConfig:
+    """Front-end branch handling.
+
+    The simulator does not model predictor tables; workloads carry a
+    per-branch mispredict flag drawn from a configured rate, and this config
+    sets the redirect penalty charged when a flagged branch resolves.
+    """
+
+    mispredict_penalty: int = 7
+
+    def __post_init__(self) -> None:
+        _positive("BranchPredictorConfig.mispredict_penalty", self.mispredict_penalty)
+
+
+@dataclass(frozen=True)
+class ProcessorConfig:
+    """Top-level machine description handed to :class:`repro.engine.Pipeline`."""
+
+    n_clusters: int = 4
+    topology: Topology = Topology.RING
+    fetch_width: int = 4
+    window_size: int = 128
+    frontend_depth: int = 4
+    steering: str = "dependence"
+    cluster: ClusterConfig = field(default_factory=ClusterConfig)
+    latencies: FuLatencies = field(default_factory=FuLatencies)
+    bus: BusConfig = field(default_factory=BusConfig)
+    branch: BranchPredictorConfig = field(default_factory=BranchPredictorConfig)
+    memory: MemoryHierarchyConfig = field(default_factory=MemoryHierarchyConfig)
+
+    def __post_init__(self) -> None:
+        _positive("ProcessorConfig.n_clusters", self.n_clusters)
+        _require(
+            isinstance(self.topology, Topology),
+            f"ProcessorConfig.topology must be a Topology, got {self.topology!r}",
+        )
+        _positive("ProcessorConfig.fetch_width", self.fetch_width)
+        _positive("ProcessorConfig.window_size", self.window_size)
+        _non_negative("ProcessorConfig.frontend_depth", self.frontend_depth)
+        _require(
+            self.window_size >= self.fetch_width,
+            "ProcessorConfig.window_size must be at least fetch_width "
+            f"({self.window_size} < {self.fetch_width})",
+        )
+        _require(
+            self.steering in STEERING_POLICIES,
+            f"ProcessorConfig.steering must be one of {STEERING_POLICIES}, got {self.steering!r}",
+        )
+
+    def with_(self, **overrides: object) -> "ProcessorConfig":
+        """Return a copy with ``overrides`` applied (sweeps build configs this way)."""
+        return dataclasses.replace(self, **overrides)
+
+    def describe(self) -> Dict[str, object]:
+        """A flat, JSON-friendly summary used by benchmark/report output."""
+        return {
+            "n_clusters": self.n_clusters,
+            "topology": self.topology.value,
+            "fetch_width": self.fetch_width,
+            "window_size": self.window_size,
+            "issue_width_per_cluster": self.cluster.issue_width,
+            "steering": self.steering,
+            "bus_hop_latency": self.bus.hop_latency,
+            "bus_bandwidth": self.bus.bandwidth,
+            "mispredict_penalty": self.branch.mispredict_penalty,
+            "l1d_miss_penalty": self.memory.l1d.miss_penalty,
+        }
+
+
+__all__ = [
+    "STEERING_POLICIES",
+    "BranchPredictorConfig",
+    "BusConfig",
+    "CacheConfig",
+    "ClusterConfig",
+    "FuLatencies",
+    "MemoryHierarchyConfig",
+    "ProcessorConfig",
+]

@@ -22,6 +22,10 @@ class Counter:
         self.value = int(value)
 
     def add(self, amount: int = 1) -> None:
+        if amount < 0:
+            raise ValueError(
+                f"Counter {self.name!r} is monotonic; cannot add negative amount {amount}"
+            )
         self.value += amount
 
     def reset(self) -> None:
@@ -67,34 +71,45 @@ class RunningMean:
 
 
 class Histogram:
-    """A sparse integer-keyed histogram (e.g. communication distance in hops)."""
+    """A sparse integer-keyed histogram (e.g. communication distance in hops).
 
-    __slots__ = ("name", "_bins")
+    The running total and weighted sum are maintained incrementally so that
+    :meth:`total` and :meth:`mean` are O(1); only :meth:`items`/:meth:`as_dict`
+    (explicit bin enumeration) pay for sorting.
+    """
+
+    __slots__ = ("name", "_bins", "_total", "_weighted")
 
     def __init__(self, name: str) -> None:
         self.name = name
         self._bins: Dict[int, int] = defaultdict(int)
+        self._total = 0
+        self._weighted = 0
 
     def add(self, key: int, amount: int = 1) -> None:
-        self._bins[int(key)] += amount
+        key = int(key)
+        self._bins[key] += amount
+        self._total += amount
+        self._weighted += key * amount
 
     def items(self) -> Iterator[Tuple[int, int]]:
         return iter(sorted(self._bins.items()))
 
     def total(self) -> int:
-        return sum(self._bins.values())
+        return self._total
 
     def mean(self) -> float:
-        total = self.total()
-        if total == 0:
+        if self._total == 0:
             return 0.0
-        return sum(k * v for k, v in self._bins.items()) / total
+        return self._weighted / self._total
 
     def as_dict(self) -> Dict[int, int]:
         return dict(sorted(self._bins.items()))
 
     def reset(self) -> None:
         self._bins.clear()
+        self._total = 0
+        self._weighted = 0
 
     def __getitem__(self, key: int) -> int:
         return self._bins.get(int(key), 0)
@@ -141,7 +156,14 @@ class StatGroup:
 
     # -- reporting --------------------------------------------------------
     def as_dict(self) -> Dict[str, float]:
-        """Flatten the group into ``{name: value}`` for reporting."""
+        """Flatten the group into ``{name: value}`` for reporting.
+
+        O(members): histogram means/totals are cached incrementally, so no
+        bins are walked or re-sorted here.  Raises :class:`ValueError` when
+        two members flatten to the same key (e.g. a scalar literally named
+        ``"foo.mean"`` next to a :class:`RunningMean` called ``"foo"``)
+        instead of silently letting one overwrite the other.
+        """
         out: Dict[str, float] = {}
         for name, counter in self._counters.items():
             out[name] = counter.value
@@ -151,7 +173,20 @@ class StatGroup:
         for name, hist in self._histograms.items():
             out[f"{name}.mean"] = hist.mean()
             out[f"{name}.total"] = hist.total()
-        out.update(self._scalars)
+        expected = len(self._counters) + 2 * len(self._means) + 2 * len(self._histograms)
+        if len(out) != expected:
+            raise ValueError(
+                f"StatGroup {self.name!r}: flattened member names collide "
+                "(a counter/mean/histogram name clashes with another member's "
+                "derived '.mean'/'.count'/'.total' key)"
+            )
+        for name, value in self._scalars.items():
+            if name in out:
+                raise ValueError(
+                    f"StatGroup {self.name!r}: scalar {name!r} collides with a "
+                    "flattened counter/mean/histogram key"
+                )
+            out[name] = value
         return out
 
     def merge(self, other: "StatGroup") -> None:

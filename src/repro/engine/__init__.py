@@ -1,0 +1,30 @@
+"""Cycle-level simulation engine.
+
+Performance-first core of the reproduction: struct-of-arrays traces and
+window state (:mod:`repro.engine.trace`, :mod:`repro.engine.window`), the
+table-driven issue/execute/writeback kernel (:mod:`repro.engine.kernel`)
+covering both the paper's ring topology and the conventional clustered
+baseline, and the public :class:`~repro.engine.pipeline.Pipeline` facade.
+"""
+
+from repro.engine.kernel import KernelResult, build_tables, simulate
+from repro.engine.pipeline import Pipeline
+from repro.engine.trace import (
+    FLAG_L1_MISS,
+    FLAG_L2_MISS,
+    FLAG_MISPREDICT,
+    Trace,
+)
+from repro.engine.window import SoAWindow
+
+__all__ = [
+    "FLAG_L1_MISS",
+    "FLAG_L2_MISS",
+    "FLAG_MISPREDICT",
+    "KernelResult",
+    "Pipeline",
+    "SoAWindow",
+    "Trace",
+    "build_tables",
+    "simulate",
+]

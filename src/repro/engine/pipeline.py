@@ -1,0 +1,70 @@
+"""Public simulation API: ``Pipeline(config).run(trace) -> StatGroup``.
+
+:class:`Pipeline` is a thin, stable facade over the hot kernel in
+:mod:`repro.engine.kernel`.  It validates inputs once, runs the kernel, and
+converts the kernel's raw totals into a :class:`~repro.common.counters.StatGroup`
+whose names are the reporting vocabulary used by benchmarks and (eventually)
+the paper-figure sweeps: ``ipc``, ``cycles``, ``comm.hops`` and friends.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.common.config import ProcessorConfig
+from repro.common.counters import StatGroup
+from repro.common.errors import SimulationError
+from repro.common.types import InstrClass
+from repro.engine.kernel import KernelResult, simulate
+from repro.engine.trace import Trace
+
+
+class Pipeline:
+    """A configured ring- or conventionally-clustered processor model."""
+
+    def __init__(self, config: Optional[ProcessorConfig] = None) -> None:
+        self.config = config if config is not None else ProcessorConfig()
+
+    def run(self, trace: Trace, stats_name: Optional[str] = None) -> StatGroup:
+        """Simulate ``trace`` and return its statistics.
+
+        The returned group contains counters (``instructions``, ``cycles``,
+        ``mispredicts``, ``l1_misses``, ``l2_misses``, ``comm.messages``,
+        ``issued.cluster<k>``, ``class.<name>``), the ``comm.hops`` histogram
+        and derived scalars (``ipc``, ``comm.per_instr``).
+        """
+        result = simulate(trace, self.config)
+        if result.n_instructions and result.cycles <= 0:
+            raise SimulationError(
+                f"trace {trace.name!r}: simulation produced no forward progress"
+            )
+        name = stats_name if stats_name is not None else trace.name
+        return self._build_stats(name, result)
+
+    def _build_stats(self, name: str, result: KernelResult) -> StatGroup:
+        stats = StatGroup(name)
+        stats.counter("instructions").add(result.n_instructions)
+        stats.counter("cycles").add(result.cycles)
+        stats.counter("mispredicts").add(result.mispredicts)
+        stats.counter("l1_misses").add(result.l1_misses)
+        stats.counter("l2_misses").add(result.l2_misses)
+        stats.counter("comm.messages").add(result.communications)
+        hops = stats.histogram("comm.hops")
+        for distance, count in result.hop_histogram.items():
+            hops.add(distance, count)
+        for c, issued in enumerate(result.issued_per_cluster):
+            stats.counter(f"issued.cluster{c}").add(issued)
+        for k, count in enumerate(result.class_counts):
+            if count:
+                stats.counter(f"class.{InstrClass(k).name.lower()}").add(count)
+        stats.set_scalar("ipc", result.ipc)
+        if result.n_instructions:
+            stats.set_scalar(
+                "comm.per_instr", result.communications / result.n_instructions
+            )
+        stats.set_scalar("topology.is_ring", float(self.config.topology.is_ring))
+        stats.set_scalar("n_clusters", float(self.config.n_clusters))
+        return stats
+
+
+__all__ = ["Pipeline"]

@@ -1,0 +1,175 @@
+"""Struct-of-arrays dynamic instruction traces.
+
+A :class:`Trace` stores one dynamic instruction stream as parallel columns
+(``array`` module arrays) instead of per-instruction objects: opcode class,
+the two source operands, the destination register and an event-flag byte.
+Source operands are stored as *producer indices* — the index of the dynamic
+instruction that produced the value, ``-1`` for none — so the simulation
+kernel never performs register renaming on the hot path.  Register-named
+programs (handy in tests) are renamed once, up front, by
+:meth:`Trace.from_ops`.
+
+Event flags encode the outcome of stochastic micro-events that the paper's
+simulator resolved with predictor/cache models and this reproduction resolves
+at generation time (the workload generator draws them from configured rates):
+
+* ``FLAG_MISPREDICT`` — this branch is mispredicted and redirects fetch;
+* ``FLAG_L1_MISS`` — this memory access misses the L1 data cache;
+* ``FLAG_L2_MISS`` — ... and also misses the L2 (implies ``FLAG_L1_MISS``).
+"""
+
+from __future__ import annotations
+
+from array import array
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+from repro.common.errors import TraceError
+from repro.common.types import DEST_REGCLASS_FOR_CLASS, InstrClass
+
+FLAG_MISPREDICT = 1
+FLAG_L1_MISS = 2
+FLAG_L2_MISS = 4
+
+_N_CLASSES = len(InstrClass)
+
+
+class Trace:
+    """An immutable struct-of-arrays instruction stream."""
+
+    __slots__ = ("name", "opclass", "src1", "src2", "dst", "flags")
+
+    def __init__(
+        self,
+        name: str,
+        opclass: Sequence[int],
+        src1: Sequence[int],
+        src2: Sequence[int],
+        dst: Sequence[int],
+        flags: Sequence[int],
+        validate: bool = True,
+    ) -> None:
+        self.name = name
+        self.opclass = array("b", opclass)
+        self.src1 = array("q", src1)
+        self.src2 = array("q", src2)
+        self.dst = array("q", dst)
+        self.flags = array("b", flags)
+        if validate:
+            self.validate()
+
+    def __len__(self) -> int:
+        return len(self.opclass)
+
+    def validate(self) -> None:
+        """Check structural invariants; raise :class:`TraceError` on violation."""
+        n = len(self.opclass)
+        for col_name in ("src1", "src2", "dst", "flags"):
+            col = getattr(self, col_name)
+            if len(col) != n:
+                raise TraceError(
+                    f"trace {self.name!r}: column {col_name} has {len(col)} "
+                    f"entries, expected {n}"
+                )
+        opclass, src1, src2, flags = self.opclass, self.src1, self.src2, self.flags
+        for i in range(n):
+            k = opclass[i]
+            if not 0 <= k < _N_CLASSES:
+                raise TraceError(f"trace {self.name!r}[{i}]: invalid opclass {k}")
+            for s in (src1[i], src2[i]):
+                if s >= i:
+                    raise TraceError(
+                        f"trace {self.name!r}[{i}]: source {s} does not precede "
+                        "its consumer (dependences must point backwards)"
+                    )
+                if s >= 0 and DEST_REGCLASS_FOR_CLASS[InstrClass(opclass[s])] is None:
+                    raise TraceError(
+                        f"trace {self.name!r}[{i}]: source {s} "
+                        f"({InstrClass(opclass[s]).name}) produces no register value"
+                    )
+            f = flags[i]
+            if f & FLAG_MISPREDICT and not InstrClass(k).is_branch:
+                raise TraceError(
+                    f"trace {self.name!r}[{i}]: mispredict flag on non-branch"
+                )
+            if f & (FLAG_L1_MISS | FLAG_L2_MISS) and not InstrClass(k).is_memory:
+                raise TraceError(
+                    f"trace {self.name!r}[{i}]: cache-miss flag on non-memory op"
+                )
+            if f & FLAG_L2_MISS and not f & FLAG_L1_MISS:
+                raise TraceError(
+                    f"trace {self.name!r}[{i}]: L2 miss without L1 miss"
+                )
+
+    @classmethod
+    def from_ops(
+        cls,
+        ops: Iterable[Tuple],
+        name: str = "trace",
+    ) -> "Trace":
+        """Build a trace from register-named operations, renaming once.
+
+        Each op is ``(opclass, dst_reg[, src1_reg[, src2_reg[, flags]]])``.
+        Register names are strings (or ``None`` for "no register"); ``flags``
+        is an int and may only appear in fifth position, after *both* source
+        slots — pad unused sources with ``None``, e.g.
+        ``(InstrClass.BRANCH, None, "r1", None, FLAG_MISPREDICT)``.  An int
+        in a source slot raises :class:`TraceError` rather than being
+        silently treated as a register name.  Sources that name a register
+        no prior op has written are treated as ready from the start
+        (live-ins).
+        """
+        last_writer = {}
+        opclass: List[int] = []
+        src1: List[int] = []
+        src2: List[int] = []
+        dst: List[int] = []
+        flags: List[int] = []
+        reg_ids = {}
+        for i, op in enumerate(ops):
+            if not 2 <= len(op) <= 5:
+                raise TraceError(
+                    f"op {i}: expected (opclass, dst[, src1[, src2[, flags]]]), "
+                    f"got {len(op)} elements"
+                )
+            k = int(op[0])
+            d = op[1]
+            rest = list(op[2:])
+            f = 0
+            if len(rest) > 2:
+                f = int(rest.pop())
+            for r in rest:
+                if r is not None and not isinstance(r, str):
+                    raise TraceError(
+                        f"op {i}: source operand {r!r} is not a register name "
+                        "(str or None); to pass flags, fill both source slots "
+                        "first: (opclass, dst, src1, src2, flags)"
+                    )
+            if d is not None and not isinstance(d, str):
+                raise TraceError(
+                    f"op {i}: destination {d!r} is not a register name (str or None)"
+                )
+            srcs = [last_writer.get(r, -1) for r in rest if r is not None]
+            srcs += [-1] * (2 - len(srcs))
+            opclass.append(k)
+            src1.append(srcs[0])
+            src2.append(srcs[1])
+            flags.append(f)
+            if d is not None and DEST_REGCLASS_FOR_CLASS[InstrClass(k)] is not None:
+                last_writer[d] = i
+                dst.append(reg_ids.setdefault(d, len(reg_ids)))
+            else:
+                dst.append(-1)
+        return cls(name, opclass, src1, src2, dst, flags)
+
+    def class_counts(self) -> List[int]:
+        """Number of instructions per :class:`InstrClass` value."""
+        counts = [0] * _N_CLASSES
+        for k in self.opclass:
+            counts[k] += 1
+        return counts
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Trace({self.name!r}, {len(self)} instructions)"
+
+
+__all__ = ["Trace", "FLAG_MISPREDICT", "FLAG_L1_MISS", "FLAG_L2_MISS"]

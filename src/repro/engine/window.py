@@ -1,0 +1,61 @@
+"""Struct-of-arrays instruction window state.
+
+The kernel keeps *all* per-instruction simulation state in parallel flat
+columns — never in per-instruction objects.  :class:`SoAWindow` owns those
+columns: the immutable ones borrowed from the :class:`~repro.engine.trace.Trace`
+(opcode class, source producer indices, destination register, event flags)
+and the mutable ones the kernel fills in as instructions flow through the
+pipeline (assigned cluster, completion cycle, interconnect grant cycle).
+
+``columns()`` hands the kernel plain Python ``list`` objects.  Lists beat
+``array``/numpy for the scalar, dependence-serialised inner loop because
+indexing a list yields the cached small-int object directly, while ``array``
+boxes a fresh int on every read.  The ``array`` columns remain the compact
+storage format; the lists are the working copy for one simulation.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.engine.trace import Trace
+
+
+class SoAWindow:
+    """Mutable struct-of-arrays working set for one simulation run."""
+
+    __slots__ = ("trace", "opclass", "src1", "src2", "dst", "flags",
+                 "cluster", "complete", "grant")
+
+    def __init__(self, trace: Trace) -> None:
+        n = len(trace)
+        self.trace = trace
+        # Immutable program columns (working copies as lists).
+        self.opclass: List[int] = list(trace.opclass)
+        self.src1: List[int] = list(trace.src1)
+        self.src2: List[int] = list(trace.src2)
+        self.dst: List[int] = list(trace.dst)
+        self.flags: List[int] = list(trace.flags)
+        # Mutable pipeline columns, filled by the kernel.
+        self.cluster: List[int] = [0] * n
+        self.complete: List[int] = [0] * n
+        self.grant: List[int] = [-1] * n
+
+    def __len__(self) -> int:
+        return len(self.opclass)
+
+    def columns(self) -> Tuple[List[int], ...]:
+        """All columns as a tuple, in kernel binding order."""
+        return (
+            self.opclass,
+            self.src1,
+            self.src2,
+            self.dst,
+            self.flags,
+            self.cluster,
+            self.complete,
+            self.grant,
+        )
+
+
+__all__ = ["SoAWindow"]

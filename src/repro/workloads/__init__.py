@@ -1,0 +1,16 @@
+"""Workload generation for the simulation engine.
+
+Currently one backend: the deterministic synthetic generator in
+:mod:`repro.workloads.synthetic`.  Real-trace readers (e.g. SimpleScalar
+EIO or textual traces) plug in here later behind the same
+:class:`~repro.engine.trace.Trace` product type.
+"""
+
+from repro.workloads.synthetic import (
+    MIXES,
+    WorkloadMix,
+    available_mixes,
+    generate_trace,
+)
+
+__all__ = ["MIXES", "WorkloadMix", "available_mixes", "generate_trace"]

@@ -1,0 +1,242 @@
+"""Synthetic instruction-trace generator.
+
+The paper evaluates on SPEC-like benchmarks; this reproduction ships a
+deterministic synthetic generator whose mixes stress the same machine
+behaviours: ``int_heavy`` (ALU pressure, short dependence chains),
+``fp_heavy`` (long-latency FP chains), ``memory_bound`` (high load/store
+share and cache-miss rates) and ``branchy`` (frequent, poorly predicted
+branches).  All randomness flows through :func:`repro.common.rng.spawn_rng`,
+so ``(mix, n, seed)`` fully determines the trace.
+
+Dependences are drawn as backward distances over the stream of prior
+*value-producing* instructions of the matching register class (FP consumers
+read FP producers, integer-pipeline consumers read integer producers), which
+yields the clustered, chain-like dependence structure steering policies care
+about.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from repro.common.errors import ConfigurationError
+from repro.common.rng import SeedLike, spawn_rng
+from repro.common.types import DEST_REGCLASS_FOR_CLASS, InstrClass, RegClass
+from repro.engine.trace import (
+    FLAG_L1_MISS,
+    FLAG_L2_MISS,
+    FLAG_MISPREDICT,
+    Trace,
+)
+
+_N_CLASSES = len(InstrClass)
+
+
+@dataclass(frozen=True)
+class WorkloadMix:
+    """Parameters of one synthetic workload family."""
+
+    name: str
+    class_weights: Dict[InstrClass, float]
+    dep_prob: float = 0.8  # probability a source operand exists
+    second_src_prob: float = 0.4
+    dep_distance_mean: float = 4.0  # geometric mean backward distance
+    mispredict_rate: float = 0.05
+    l1_miss_rate: float = 0.05
+    l2_miss_rate: float = 0.2  # conditional on an L1 miss
+    n_arch_regs: int = 64
+
+    def __post_init__(self) -> None:
+        if not self.class_weights:
+            raise ConfigurationError(f"mix {self.name!r}: empty class weights")
+        for klass, weight in self.class_weights.items():
+            if weight < 0:
+                raise ConfigurationError(
+                    f"mix {self.name!r}: negative weight for {klass.name}"
+                )
+        if sum(self.class_weights.values()) <= 0:
+            raise ConfigurationError(f"mix {self.name!r}: weights sum to zero")
+        for field_name in ("dep_prob", "second_src_prob", "mispredict_rate",
+                           "l1_miss_rate", "l2_miss_rate"):
+            v = getattr(self, field_name)
+            if not 0.0 <= v <= 1.0:
+                raise ConfigurationError(
+                    f"mix {self.name!r}: {field_name}={v} outside [0, 1]"
+                )
+        if self.dep_distance_mean < 1.0:
+            raise ConfigurationError(
+                f"mix {self.name!r}: dep_distance_mean must be >= 1"
+            )
+
+    def weight_vector(self) -> np.ndarray:
+        w = np.zeros(_N_CLASSES)
+        for klass, weight in self.class_weights.items():
+            w[int(klass)] = weight
+        return w / w.sum()
+
+
+MIXES: Dict[str, WorkloadMix] = {
+    mix.name: mix
+    for mix in (
+        WorkloadMix(
+            name="int_heavy",
+            class_weights={
+                InstrClass.INT_ALU: 0.50,
+                InstrClass.INT_MUL: 0.05,
+                InstrClass.INT_DIV: 0.01,
+                InstrClass.LOAD: 0.20,
+                InstrClass.STORE: 0.10,
+                InstrClass.BRANCH: 0.14,
+            },
+            dep_distance_mean=3.0,
+            mispredict_rate=0.04,
+            l1_miss_rate=0.03,
+        ),
+        WorkloadMix(
+            name="fp_heavy",
+            class_weights={
+                InstrClass.INT_ALU: 0.15,
+                InstrClass.FP_ADD: 0.25,
+                InstrClass.FP_MUL: 0.20,
+                InstrClass.FP_DIV: 0.03,
+                InstrClass.FP_LOAD: 0.20,
+                InstrClass.FP_STORE: 0.10,
+                InstrClass.BRANCH: 0.07,
+            },
+            dep_distance_mean=5.0,
+            mispredict_rate=0.02,
+            l1_miss_rate=0.04,
+        ),
+        WorkloadMix(
+            name="memory_bound",
+            class_weights={
+                InstrClass.INT_ALU: 0.25,
+                InstrClass.LOAD: 0.35,
+                InstrClass.STORE: 0.20,
+                InstrClass.FP_LOAD: 0.05,
+                InstrClass.BRANCH: 0.15,
+            },
+            dep_distance_mean=4.0,
+            mispredict_rate=0.05,
+            l1_miss_rate=0.15,
+            l2_miss_rate=0.3,
+        ),
+        WorkloadMix(
+            name="branchy",
+            class_weights={
+                InstrClass.INT_ALU: 0.45,
+                InstrClass.LOAD: 0.15,
+                InstrClass.STORE: 0.08,
+                InstrClass.BRANCH: 0.30,
+                InstrClass.NOP: 0.02,
+            },
+            dep_distance_mean=2.5,
+            mispredict_rate=0.12,
+            l1_miss_rate=0.04,
+        ),
+    )
+}
+
+
+def available_mixes() -> Tuple[str, ...]:
+    return tuple(sorted(MIXES))
+
+
+def generate_trace(
+    mix: "str | WorkloadMix",
+    n: int,
+    seed: SeedLike = None,
+    validate: bool = False,
+) -> Trace:
+    """Generate ``n`` dynamic instructions of ``mix`` deterministically.
+
+    ``validate=False`` by default: the generator only emits structurally
+    valid traces (covered by the test suite), and validation is an O(n)
+    pass the benchmark harness should not pay for.
+    """
+    if isinstance(mix, str):
+        try:
+            mix = MIXES[mix]
+        except KeyError:
+            raise ConfigurationError(
+                f"unknown workload mix {mix!r}; available: {available_mixes()}"
+            ) from None
+    if n < 0:
+        raise ConfigurationError(f"trace length must be non-negative, got {n}")
+
+    rng = spawn_rng(seed, "workload", mix.name, n)
+
+    opclass = rng.choice(_N_CLASSES, size=n, p=mix.weight_vector())
+    want_src1 = rng.random(n) < mix.dep_prob
+    want_src2 = rng.random(n) < mix.second_src_prob
+    # Geometric backward distances over the per-regclass producer streams.
+    p_geo = min(1.0, 1.0 / mix.dep_distance_mean)
+    dist1 = rng.geometric(p_geo, size=n)
+    dist2 = rng.geometric(p_geo, size=n)
+    mispredict_draw = rng.random(n) < mix.mispredict_rate
+    l1_draw = rng.random(n) < mix.l1_miss_rate
+    l2_draw = rng.random(n) < mix.l2_miss_rate
+    dst_regs = rng.integers(0, mix.n_arch_regs, size=n)
+
+    # Per-regclass streams of producer indices (grown append-only).
+    producers: List[List[int]] = [[], []]  # RegClass.INT, RegClass.FP
+    src_class_for = [0] * _N_CLASSES
+    dst_class_for = [-1] * _N_CLASSES
+    for klass in InstrClass:
+        src_class_for[klass] = int(RegClass.FP) if klass.is_fp_compute else int(RegClass.INT)
+        dst = DEST_REGCLASS_FOR_CLASS[klass]
+        dst_class_for[klass] = int(dst) if dst is not None else -1
+    # FP stores read the FP value they write to memory.
+    src_class_for[InstrClass.FP_STORE] = int(RegClass.FP)
+
+    src1: List[int] = [0] * n
+    src2: List[int] = [0] * n
+    dst: List[int] = [0] * n
+    flags: List[int] = [0] * n
+
+    opclass_l = opclass.tolist()
+    want_src1_l = want_src1.tolist()
+    want_src2_l = want_src2.tolist()
+    dist1_l = dist1.tolist()
+    dist2_l = dist2.tolist()
+    mis_l = mispredict_draw.tolist()
+    l1_l = l1_draw.tolist()
+    l2_l = l2_draw.tolist()
+    dst_regs_l = dst_regs.tolist()
+
+    for i in range(n):
+        k = opclass_l[i]
+        klass = InstrClass(k)
+        pool = producers[src_class_for[k]]
+        n_pool = len(pool)
+        is_nop = klass is InstrClass.NOP
+        if n_pool and want_src1_l[i] and not is_nop:
+            src1[i] = pool[-min(dist1_l[i], n_pool)]
+        else:
+            src1[i] = -1
+        if n_pool and want_src2_l[i] and not is_nop:
+            src2[i] = pool[-min(dist2_l[i], n_pool)]
+        else:
+            src2[i] = -1
+        f = 0
+        if klass.is_branch and mis_l[i]:
+            f = FLAG_MISPREDICT
+        elif klass.is_memory and l1_l[i]:
+            f = FLAG_L1_MISS
+            if l2_l[i]:
+                f |= FLAG_L2_MISS
+        flags[i] = f
+        if dst_class_for[k] >= 0:
+            producers[dst_class_for[k]].append(i)
+            dst[i] = dst_regs_l[i]
+        else:
+            dst[i] = -1
+
+    return Trace(f"{mix.name}-{n}", opclass_l, src1, src2, dst, flags,
+                 validate=validate)
+
+
+__all__ = ["MIXES", "WorkloadMix", "available_mixes", "generate_trace"]

@@ -1,0 +1,148 @@
+"""Tests for repro.common.counters."""
+
+import pytest
+
+from repro.common.counters import (
+    Counter,
+    Histogram,
+    RunningMean,
+    StatGroup,
+    format_stats,
+)
+
+
+class TestCounter:
+    def test_add_and_int(self):
+        c = Counter("x")
+        c.add()
+        c.add(4)
+        assert int(c) == 5
+
+    def test_negative_add_rejected(self):
+        c = Counter("x", value=3)
+        with pytest.raises(ValueError, match="monotonic"):
+            c.add(-1)
+        assert c.value == 3
+
+    def test_reset(self):
+        c = Counter("x", value=7)
+        c.reset()
+        assert c.value == 0
+
+
+class TestRunningMean:
+    def test_empty_mean_is_zero(self):
+        assert RunningMean("m").mean == 0.0
+
+    def test_weighted_mean(self):
+        m = RunningMean("m")
+        m.add(10.0)
+        m.add(20.0, weight=3)
+        assert m.mean == pytest.approx(30.0 / 4)
+
+    def test_reset(self):
+        m = RunningMean("m")
+        m.add(5.0)
+        m.reset()
+        assert m.count == 0 and m.mean == 0.0
+
+
+class TestHistogram:
+    def test_mean_matches_recomputation(self):
+        h = Histogram("h")
+        for key, amount in ((1, 3), (4, 2), (9, 5)):
+            h.add(key, amount)
+        expected = sum(k * v for k, v in h.items()) / h.total()
+        assert h.mean() == pytest.approx(expected)
+
+    def test_cached_totals_survive_reset(self):
+        h = Histogram("h")
+        h.add(3, 2)
+        h.reset()
+        assert h.total() == 0
+        assert h.mean() == 0.0
+        h.add(5)
+        assert h.total() == 1
+        assert h.mean() == pytest.approx(5.0)
+
+    def test_items_sorted_and_getitem(self):
+        h = Histogram("h")
+        h.add(9)
+        h.add(2)
+        h.add(9)
+        assert list(h.items()) == [(2, 1), (9, 2)]
+        assert h[9] == 2
+        assert h[100] == 0
+
+
+class TestStatGroup:
+    def test_members_created_on_first_access(self):
+        g = StatGroup("g")
+        g.counter("commits").add(2)
+        assert g.counter("commits").value == 2
+
+    def test_as_dict_flattening(self):
+        g = StatGroup("g")
+        g.counter("c").add(3)
+        g.mean("m").add(4.0)
+        g.histogram("h").add(2, 2)
+        g.set_scalar("ipc", 1.5)
+        d = g.as_dict()
+        assert d["c"] == 3
+        assert d["m.mean"] == pytest.approx(4.0)
+        assert d["m.count"] == 1
+        assert d["h.mean"] == pytest.approx(2.0)
+        assert d["h.total"] == 2
+        assert d["ipc"] == pytest.approx(1.5)
+
+    def test_scalar_collision_raises(self):
+        g = StatGroup("g")
+        g.mean("foo").add(1.0)
+        g.set_scalar("foo.mean", 99.0)
+        with pytest.raises(ValueError, match="collides"):
+            g.as_dict()
+
+    def test_member_name_collision_raises(self):
+        g = StatGroup("g")
+        g.counter("foo.mean").add(1)
+        g.mean("foo").add(2.0)
+        with pytest.raises(ValueError, match="collide"):
+            g.as_dict()
+
+    def test_merge_accumulates_raw_totals(self):
+        a, b = StatGroup("a"), StatGroup("b")
+        for g, n in ((a, 1), (b, 2)):
+            g.counter("c").add(n)
+            g.mean("m").add(float(n))
+            g.histogram("h").add(n)
+            g.set_scalar("ipc", float(n))
+        a.merge(b)
+        d = a.as_dict()
+        assert d["c"] == 3
+        assert d["m.mean"] == pytest.approx(1.5)
+        assert d["h.total"] == 2
+        # Scalars are derived quantities and must not be merged.
+        assert d["ipc"] == pytest.approx(1.0)
+
+    def test_reset_clears_everything(self):
+        g = StatGroup("g")
+        g.counter("c").add(1)
+        g.mean("m").add(1.0)
+        g.histogram("h").add(1)
+        g.set_scalar("s", 2.0)
+        g.reset()
+        assert g.as_dict() == {"c": 0, "m.mean": 0.0, "m.count": 0,
+                               "h.mean": 0.0, "h.total": 0}
+
+
+class TestFormatStats:
+    def test_empty(self):
+        assert format_stats({}) == "  (empty)"
+
+    def test_sorted_and_aligned(self):
+        text = format_stats({"bbb": 2.0, "a": 1.25})
+        lines = text.splitlines()
+        assert lines[0].strip().startswith("a")
+        assert "1.2500" in lines[0]
+        assert lines[1].strip().startswith("bbb")
+        assert "2" in lines[1]

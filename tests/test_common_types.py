@@ -1,0 +1,77 @@
+"""Tests for the instruction/FU taxonomy in repro.common.types."""
+
+from repro.common.types import (
+    DEST_REGCLASS_FOR_CLASS,
+    FP_CLASSES,
+    FU_FOR_CLASS,
+    INT_CLASSES,
+    MEM_CLASSES,
+    FuType,
+    InstrClass,
+    RegClass,
+    Topology,
+)
+
+
+class TestInstrClassPredicates:
+    def test_memory_predicates(self):
+        assert InstrClass.LOAD.is_memory and InstrClass.LOAD.is_load
+        assert InstrClass.FP_STORE.is_memory and InstrClass.FP_STORE.is_store
+        assert not InstrClass.INT_ALU.is_memory
+        assert not InstrClass.LOAD.is_store
+
+    def test_branch_predicate(self):
+        assert InstrClass.BRANCH.is_branch
+        assert not any(k.is_branch for k in InstrClass if k is not InstrClass.BRANCH)
+
+    def test_fp_compute_matches_fp_classes(self):
+        assert {k for k in InstrClass if k.is_fp_compute} == set(FP_CLASSES)
+
+    def test_int_pipeline_is_everything_but_fp_and_nop(self):
+        expected = set(InstrClass) - set(FP_CLASSES) - {InstrClass.NOP}
+        assert {k for k in InstrClass if k.uses_int_pipeline} == expected
+
+    def test_int_fp_partition_covers_all_but_nop(self):
+        assert INT_CLASSES | FP_CLASSES == set(InstrClass) - {InstrClass.NOP}
+        assert not INT_CLASSES & FP_CLASSES
+
+    def test_mem_classes_subset_of_int_pipeline(self):
+        assert MEM_CLASSES <= INT_CLASSES
+
+
+class TestDispatchTableTotality:
+    def test_fu_for_class_total_and_typed(self):
+        assert set(FU_FOR_CLASS) == set(InstrClass)
+        assert all(isinstance(v, FuType) for v in FU_FOR_CLASS.values())
+
+    def test_fp_compute_runs_on_fp_units(self):
+        for k in FP_CLASSES:
+            assert not FU_FOR_CLASS[k].is_integer
+
+    def test_int_pipeline_runs_on_int_units(self):
+        for k in INT_CLASSES:
+            assert FU_FOR_CLASS[k].is_integer
+
+    def test_dest_regclass_total(self):
+        assert set(DEST_REGCLASS_FOR_CLASS) == set(InstrClass)
+        for k, reg in DEST_REGCLASS_FOR_CLASS.items():
+            assert reg is None or isinstance(reg, RegClass)
+
+    def test_stores_branches_nop_produce_nothing(self):
+        for k in (InstrClass.STORE, InstrClass.FP_STORE, InstrClass.BRANCH,
+                  InstrClass.NOP):
+            assert DEST_REGCLASS_FOR_CLASS[k] is None
+
+    def test_loads_produce_matching_regclass(self):
+        assert DEST_REGCLASS_FOR_CLASS[InstrClass.LOAD] is RegClass.INT
+        assert DEST_REGCLASS_FOR_CLASS[InstrClass.FP_LOAD] is RegClass.FP
+
+
+class TestTopology:
+    def test_is_ring(self):
+        assert Topology.RING.is_ring
+        assert not Topology.CONV.is_ring
+
+    def test_values_stable(self):
+        assert Topology("ring") is Topology.RING
+        assert Topology("conv") is Topology.CONV

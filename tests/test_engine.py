@@ -1,0 +1,258 @@
+"""Tests for the cycle-level engine: trace handling, topology semantics,
+determinism, and agreement with the naive reference model."""
+
+import os
+import sys
+
+import pytest
+
+from repro.common.config import ProcessorConfig
+from repro.common.errors import TraceError
+from repro.common.types import InstrClass, Topology
+from repro.engine import (
+    FLAG_L1_MISS,
+    FLAG_MISPREDICT,
+    Pipeline,
+    SoAWindow,
+    Trace,
+    simulate,
+)
+from repro.workloads import generate_trace
+
+IALU = InstrClass.INT_ALU
+
+
+def chain_trace(n=200):
+    """A single serial dependence chain — maximally bypass-sensitive."""
+    ops = [(IALU, f"r{i + 1}", f"r{i}", None, 0) for i in range(n)]
+    return Trace.from_ops(ops, name="chain")
+
+
+def independent_trace(n=400):
+    """Fully independent ALU ops — limited only by machine bandwidth."""
+    ops = [(IALU, f"r{i}") for i in range(n)]
+    return Trace.from_ops(ops, name="independent")
+
+
+class TestTrace:
+    def test_from_ops_renames_registers(self):
+        t = Trace.from_ops([
+            (IALU, "a"),
+            (IALU, "b", "a", None, 0),
+            (IALU, "a", "a", "b", 0),
+        ])
+        assert list(t.src1) == [-1, 0, 0]
+        assert list(t.src2) == [-1, -1, 1]
+
+    def test_unwritten_register_is_live_in(self):
+        t = Trace.from_ops([(IALU, "x", "never_written", None, 0)])
+        assert t.src1[0] == -1
+
+    def test_forward_dependence_rejected(self):
+        with pytest.raises(TraceError, match="precede"):
+            Trace("bad", [0, 0], [1, -1], [-1, -1], [0, 1], [0, 0])
+
+    def test_source_must_produce_a_value(self):
+        branch = int(InstrClass.BRANCH)
+        with pytest.raises(TraceError, match="no register value"):
+            Trace("bad", [branch, 0], [-1, 0], [-1, -1], [-1, 0], [0, 0])
+
+    def test_mispredict_flag_only_on_branches(self):
+        with pytest.raises(TraceError, match="mispredict"):
+            Trace("bad", [0], [-1], [-1], [0], [FLAG_MISPREDICT])
+
+    def test_miss_flag_only_on_memory(self):
+        with pytest.raises(TraceError, match="cache-miss"):
+            Trace("bad", [0], [-1], [-1], [0], [FLAG_L1_MISS])
+
+    def test_from_ops_flags_position_enforced(self):
+        branch = InstrClass.BRANCH
+        # Correct padded form round-trips the flag.
+        t = Trace.from_ops([(IALU, "a"),
+                            (branch, None, "a", None, FLAG_MISPREDICT)])
+        assert t.flags[1] == FLAG_MISPREDICT
+        # An int in a source slot is an error, never a silent register name.
+        with pytest.raises(TraceError, match="not a register name"):
+            Trace.from_ops([(IALU, "a"), (branch, None, "a", FLAG_MISPREDICT)])
+
+    def test_window_columns_parallel(self):
+        t = chain_trace(10)
+        win = SoAWindow(t)
+        assert len(win) == 10
+        cols = win.columns()
+        assert all(len(c) == 10 for c in cols)
+
+
+class TestFuCoverage:
+    def test_missing_fu_type_rejected_up_front(self):
+        from repro.common.config import ClusterConfig
+        from repro.common.errors import ConfigurationError
+
+        cfg = ProcessorConfig(cluster=ClusterConfig(fu_counts=(1, 1, 0, 0)))
+        t = generate_trace("fp_heavy", 200, seed=1)
+        with pytest.raises(ConfigurationError, match="zero units"):
+            simulate(t, cfg)
+
+    def test_int_only_cluster_runs_int_only_trace(self):
+        from repro.common.config import ClusterConfig
+
+        cfg = ProcessorConfig(cluster=ClusterConfig(fu_counts=(1, 1, 0, 0)))
+        t = generate_trace("int_heavy", 500, seed=1)
+        assert simulate(t, cfg).cycles > 0
+
+
+class TestTopologySemantics:
+    def test_conv_beats_ring_on_dependence_chain(self):
+        """The paper's central trade-off: no bypass in the ring means a
+        serial chain pays the hop+writeback on every producer->consumer
+        edge, while the conventional cluster issues back-to-back."""
+        t = chain_trace()
+        ipc = {}
+        for topo in (Topology.CONV, Topology.RING):
+            cfg = ProcessorConfig(n_clusters=4, topology=topo)
+            ipc[topo] = Pipeline(cfg).run(t).get_scalar("ipc")
+        assert ipc[Topology.CONV] > ipc[Topology.RING]
+        assert ipc[Topology.CONV] > 0.9  # bypass: ~1 instr/cycle
+        assert ipc[Topology.RING] < 0.5  # >= 2 extra cycles per edge
+
+    def test_ring_results_always_communicate(self):
+        t = independent_trace(100)
+        cfg = ProcessorConfig(n_clusters=4, topology=Topology.RING)
+        stats = Pipeline(cfg).run(t)
+        assert int(stats.counter("comm.messages")) == 100
+
+    def test_conv_local_values_never_communicate(self):
+        t = chain_trace(100)
+        cfg = ProcessorConfig(n_clusters=4, topology=Topology.CONV)
+        stats = Pipeline(cfg).run(t)
+        # Dependence steering keeps the chain in one cluster: no traffic.
+        assert int(stats.counter("comm.messages")) == 0
+
+    def test_independent_work_reaches_fetch_limit(self):
+        t = independent_trace(800)
+        cfg = ProcessorConfig(n_clusters=4, topology=Topology.CONV)
+        ipc = Pipeline(cfg).run(t).get_scalar("ipc")
+        assert ipc == pytest.approx(cfg.fetch_width, rel=0.1)
+
+    def test_more_clusters_do_not_hurt_parallel_work(self):
+        t = generate_trace("int_heavy", 5000, seed=11)
+        prev = 0.0
+        for n_clusters in (1, 2, 4):
+            cfg = ProcessorConfig(n_clusters=n_clusters, topology=Topology.CONV)
+            ipc = Pipeline(cfg).run(t).get_scalar("ipc")
+            assert ipc >= prev * 0.95  # allow steering noise, no collapse
+            prev = ipc
+
+
+class TestPenalties:
+    def test_smaller_window_cannot_be_faster(self):
+        t = generate_trace("int_heavy", 3000, seed=5)
+        big = ProcessorConfig(window_size=256)
+        small = ProcessorConfig(window_size=8)
+        cycles_big = int(Pipeline(big).run(t).counter("cycles"))
+        cycles_small = int(Pipeline(small).run(t).counter("cycles"))
+        assert cycles_small >= cycles_big
+
+    def test_mispredicted_branch_costs_cycles(self):
+        base_ops = [(IALU, f"r{i}") for i in range(50)]
+        branch = int(InstrClass.BRANCH)
+        taken = base_ops[:25] + [(branch, None, "r0", None, FLAG_MISPREDICT)] + base_ops[25:]
+        clean = base_ops[:25] + [(branch, None, "r0", None, 0)] + base_ops[25:]
+        cfg = ProcessorConfig()
+        c_taken = int(Pipeline(cfg).run(Trace.from_ops(taken)).counter("cycles"))
+        c_clean = int(Pipeline(cfg).run(Trace.from_ops(clean)).counter("cycles"))
+        assert c_taken > c_clean
+
+    def test_load_miss_stalls_consumer(self):
+        load = int(InstrClass.LOAD)
+        hit = [(load, "r0"), (IALU, "r1", "r0", None, 0)]
+        miss = [(load, "r0", None, None, FLAG_L1_MISS),
+                (IALU, "r1", "r0", None, 0)]
+        cfg = ProcessorConfig()
+        c_hit = int(Pipeline(cfg).run(Trace.from_ops(hit)).counter("cycles"))
+        c_miss = int(Pipeline(cfg).run(Trace.from_ops(miss)).counter("cycles"))
+        assert c_miss == c_hit + cfg.memory.l1d.miss_penalty
+
+
+class TestDeterminism:
+    def test_identical_runs_identical_stats(self):
+        t = generate_trace("branchy", 4000, seed=77)
+        cfg = ProcessorConfig(topology=Topology.RING)
+        a = Pipeline(cfg).run(t).as_dict()
+        b = Pipeline(cfg).run(t).as_dict()
+        assert a == b
+
+    def test_regenerated_trace_identical_stats(self):
+        cfg = ProcessorConfig()
+        runs = []
+        for _ in range(2):
+            t = generate_trace("memory_bound", 4000, seed=13)
+            runs.append(Pipeline(cfg).run(t).as_dict())
+        assert runs[0] == runs[1]
+
+
+class TestStatsAccounting:
+    def test_counters_consistent_with_trace(self):
+        t = generate_trace("int_heavy", 3000, seed=3)
+        cfg = ProcessorConfig()
+        stats = Pipeline(cfg).run(t)
+        assert int(stats.counter("instructions")) == len(t)
+        issued = sum(
+            int(stats.counter(f"issued.cluster{c}"))
+            for c in range(cfg.n_clusters)
+        )
+        nops = t.class_counts()[InstrClass.NOP]
+        assert issued == len(t) - nops
+
+    def test_class_counters_match_trace(self):
+        t = generate_trace("fp_heavy", 2000, seed=9)
+        stats = Pipeline(ProcessorConfig()).run(t)
+        counts = t.class_counts()
+        for k in InstrClass:
+            if counts[k]:
+                assert int(stats.counter(f"class.{k.name.lower()}")) == counts[k]
+
+    def test_empty_trace(self):
+        t = Trace("empty", [], [], [], [], [])
+        stats = Pipeline(ProcessorConfig()).run(t)
+        assert int(stats.counter("cycles")) == 0
+        assert stats.get_scalar("ipc") == 0.0
+
+
+class TestNaiveReferenceAgreement:
+    """The object-per-instruction model in bench/ is the correctness oracle:
+    both implementations must agree cycle-for-cycle on every mix/topology."""
+
+    @classmethod
+    def setup_class(cls):
+        bench_dir = os.path.join(os.path.dirname(__file__), os.pardir, "bench")
+        sys.path.insert(0, bench_dir)
+
+    @pytest.mark.parametrize("mix", ["int_heavy", "fp_heavy", "memory_bound",
+                                     "branchy"])
+    @pytest.mark.parametrize("topology", [Topology.RING, Topology.CONV])
+    def test_cycles_and_comms_agree(self, mix, topology):
+        from naive_ref import NaivePipeline
+
+        t = generate_trace(mix, 2000, seed=123)
+        cfg = ProcessorConfig(n_clusters=4, topology=topology)
+        naive = NaivePipeline(cfg).run(t)
+        soa = simulate(t, cfg)
+        assert naive["cycles"] == soa.cycles
+        assert naive["communications"] == soa.communications
+        assert naive["mispredicts"] == soa.mispredicts
+        assert naive["l1_misses"] == soa.l1_misses
+
+    @pytest.mark.parametrize("n_clusters", [1, 3, 5])
+    @pytest.mark.parametrize("topology", [Topology.RING, Topology.CONV])
+    def test_agreement_off_power_of_two(self, n_clusters, topology):
+        """The kernel's &-mask modulo fast path only engages for power-of-two
+        cluster counts; odd counts must take the % path and still agree."""
+        from naive_ref import NaivePipeline
+
+        t = generate_trace("int_heavy", 2000, seed=31)
+        cfg = ProcessorConfig(n_clusters=n_clusters, topology=topology)
+        naive = NaivePipeline(cfg).run(t)
+        soa = simulate(t, cfg)
+        assert naive["cycles"] == soa.cycles
+        assert naive["communications"] == soa.communications
