@@ -17,18 +17,42 @@ from __future__ import annotations
 
 import dataclasses
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Any, Dict, List, Mapping, Optional, Tuple, Type, TypeVar
 
 from repro.common.errors import ConfigurationError
+from repro.common.jsonutil import content_digest
 from repro.common.types import FuType, InstrClass, Topology
 
 #: Steering policies understood by the pipeline kernel.
 STEERING_POLICIES = ("dependence", "modulo", "round_robin")
 
+_T = TypeVar("_T")
+
 
 def _require(condition: bool, message: str) -> None:
     if not condition:
         raise ConfigurationError(message)
+
+
+def _check_keys(cls: Type[Any], data: Mapping[str, Any]) -> None:
+    """Reject mappings with keys that are not fields of ``cls``."""
+    _require(
+        isinstance(data, Mapping),
+        f"{cls.__name__}.from_dict expects a mapping, got {type(data).__name__}",
+    )
+    allowed = {f.name for f in dataclasses.fields(cls)}
+    unknown = sorted(set(data) - allowed)
+    _require(
+        not unknown,
+        f"{cls.__name__}.from_dict: unknown key(s) {unknown}; "
+        f"valid keys: {sorted(allowed)}",
+    )
+
+
+def _flat_from_dict(cls: Type[_T], data: Mapping[str, Any]) -> _T:
+    """Construct a flat (non-nested) config dataclass from a mapping."""
+    _check_keys(cls, data)
+    return cls(**dict(data))
 
 
 def _positive(name: str, value: int) -> None:
@@ -85,6 +109,13 @@ class FuLatencies:
         t[InstrClass.FP_DIV] = False
         return t
 
+    def to_dict(self) -> Dict[str, int]:
+        return {f.name: getattr(self, f.name) for f in dataclasses.fields(self)}
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "FuLatencies":
+        return _flat_from_dict(cls, data)
+
 
 @dataclass(frozen=True)
 class ClusterConfig:
@@ -112,6 +143,22 @@ class ClusterConfig:
         _positive("ClusterConfig.int_regs", self.int_regs)
         _positive("ClusterConfig.fp_regs", self.fp_regs)
 
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "issue_width": self.issue_width,
+            "fu_counts": list(self.fu_counts),
+            "int_regs": self.int_regs,
+            "fp_regs": self.fp_regs,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "ClusterConfig":
+        _check_keys(cls, data)
+        kwargs = dict(data)
+        if "fu_counts" in kwargs:
+            kwargs["fu_counts"] = tuple(kwargs["fu_counts"])
+        return cls(**kwargs)
+
 
 @dataclass(frozen=True)
 class BusConfig:
@@ -131,6 +178,13 @@ class BusConfig:
         _positive("BusConfig.hop_latency", self.hop_latency)
         _positive("BusConfig.bandwidth", self.bandwidth)
         _non_negative("BusConfig.writeback_latency", self.writeback_latency)
+
+    def to_dict(self) -> Dict[str, int]:
+        return {f.name: getattr(self, f.name) for f in dataclasses.fields(self)}
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "BusConfig":
+        return _flat_from_dict(cls, data)
 
 
 @dataclass(frozen=True)
@@ -160,6 +214,13 @@ class CacheConfig:
             f"({lines} lines, {self.associativity}-way)",
         )
 
+    def to_dict(self) -> Dict[str, int]:
+        return {f.name: getattr(self, f.name) for f in dataclasses.fields(self)}
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "CacheConfig":
+        return _flat_from_dict(cls, data)
+
 
 @dataclass(frozen=True)
 class MemoryHierarchyConfig:
@@ -170,6 +231,17 @@ class MemoryHierarchyConfig:
 
     def __post_init__(self) -> None:
         _non_negative("MemoryHierarchyConfig.l2_miss_penalty", self.l2_miss_penalty)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"l1d": self.l1d.to_dict(), "l2_miss_penalty": self.l2_miss_penalty}
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "MemoryHierarchyConfig":
+        _check_keys(cls, data)
+        kwargs: Dict[str, Any] = dict(data)
+        if "l1d" in kwargs:
+            kwargs["l1d"] = CacheConfig.from_dict(kwargs["l1d"])
+        return cls(**kwargs)
 
 
 @dataclass(frozen=True)
@@ -185,6 +257,13 @@ class BranchPredictorConfig:
 
     def __post_init__(self) -> None:
         _positive("BranchPredictorConfig.mispredict_penalty", self.mispredict_penalty)
+
+    def to_dict(self) -> Dict[str, int]:
+        return {f.name: getattr(self, f.name) for f in dataclasses.fields(self)}
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "BranchPredictorConfig":
+        return _flat_from_dict(cls, data)
 
 
 @dataclass(frozen=True)
@@ -225,6 +304,63 @@ class ProcessorConfig:
     def with_(self, **overrides: object) -> "ProcessorConfig":
         """Return a copy with ``overrides`` applied (sweeps build configs this way)."""
         return dataclasses.replace(self, **overrides)
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Full nested, JSON-serializable description; exact inverse of
+        :meth:`from_dict` (``from_dict(cfg.to_dict()) == cfg``)."""
+        return {
+            "n_clusters": self.n_clusters,
+            "topology": self.topology.value,
+            "fetch_width": self.fetch_width,
+            "window_size": self.window_size,
+            "frontend_depth": self.frontend_depth,
+            "steering": self.steering,
+            "cluster": self.cluster.to_dict(),
+            "latencies": self.latencies.to_dict(),
+            "bus": self.bus.to_dict(),
+            "branch": self.branch.to_dict(),
+            "memory": self.memory.to_dict(),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "ProcessorConfig":
+        """Rebuild a config from :meth:`to_dict` output.
+
+        Unknown keys — at any nesting level — raise
+        :class:`~repro.common.errors.ConfigurationError` so a typo in a sweep
+        spec fails loudly instead of silently falling back to a default.
+        """
+        _check_keys(cls, data)
+        kwargs: Dict[str, Any] = dict(data)
+        if "topology" in kwargs and not isinstance(kwargs["topology"], Topology):
+            try:
+                kwargs["topology"] = Topology(kwargs["topology"])
+            except ValueError:
+                valid = [t.value for t in Topology]
+                raise ConfigurationError(
+                    f"unknown topology {kwargs['topology']!r}; valid: {valid}"
+                ) from None
+        nested = {
+            "cluster": ClusterConfig,
+            "latencies": FuLatencies,
+            "bus": BusConfig,
+            "branch": BranchPredictorConfig,
+            "memory": MemoryHierarchyConfig,
+        }
+        for name, sub_cls in nested.items():
+            if name in kwargs and not isinstance(kwargs[name], sub_cls):
+                kwargs[name] = sub_cls.from_dict(kwargs[name])
+        return cls(**kwargs)
+
+    def config_digest(self) -> str:
+        """Stable 16-hex-char content hash of the full configuration.
+
+        Two configs have equal digests iff their :meth:`to_dict` forms are
+        equal; the JSON canonicalisation (sorted keys, no whitespace) keeps
+        the digest independent of Python version and dict insertion order.
+        Used as (part of) the cache key of the sweep result store.
+        """
+        return content_digest(self.to_dict(), 16)
 
     def describe(self) -> Dict[str, object]:
         """A flat, JSON-friendly summary used by benchmark/report output."""

@@ -24,6 +24,15 @@ class SteeringError(ReproError):
     """A steering policy returned an illegal cluster or violated its contract."""
 
 
+class StoreError(ReproError):
+    """A sweep result store is corrupt or used inconsistently.
+
+    A *truncated last line* (interrupted append) is not a :class:`StoreError`
+    — the store detects and recovers it; this exception is reserved for
+    damage that cannot be repaired safely, such as corrupt interior records.
+    """
+
+
 class SimulationError(ReproError):
     """The cycle-level simulation reached an inconsistent state.
 

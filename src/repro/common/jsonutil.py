@@ -1,0 +1,29 @@
+"""Canonical JSON and content digests.
+
+Cache keys (:meth:`ProcessorConfig.config_digest`,
+:meth:`ExperimentPoint.key`) and the sweep store's byte-identity guarantee
+all depend on one byte-exact serialization of the same value.  This module
+is the single definition of that canonical form; keep every content-hash
+and store-write path on these helpers, because two drifting copies of the
+``json.dumps`` options would silently stop cache keys from matching.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from typing import Any
+
+
+def canonical_json(obj: Any) -> str:
+    """Serialize ``obj`` to the canonical form: sorted keys, no whitespace."""
+    return json.dumps(obj, sort_keys=True, separators=(",", ":"))
+
+
+def content_digest(obj: Any, hex_chars: int) -> str:
+    """First ``hex_chars`` hex digits of the sha256 of ``canonical_json(obj)``."""
+    payload = canonical_json(obj).encode("utf-8")
+    return hashlib.sha256(payload).hexdigest()[:hex_chars]
+
+
+__all__ = ["canonical_json", "content_digest"]

@@ -7,7 +7,7 @@ covering both the paper's ring topology and the conventional clustered
 baseline, and the public :class:`~repro.engine.pipeline.Pipeline` facade.
 """
 
-from repro.engine.kernel import KernelResult, build_tables, simulate
+from repro.engine.kernel import ENGINE_VERSION, KernelResult, build_tables, simulate
 from repro.engine.pipeline import Pipeline
 from repro.engine.trace import (
     FLAG_L1_MISS,
@@ -18,6 +18,7 @@ from repro.engine.trace import (
 from repro.engine.window import SoAWindow
 
 __all__ = [
+    "ENGINE_VERSION",
     "FLAG_L1_MISS",
     "FLAG_L2_MISS",
     "FLAG_MISPREDICT",

@@ -30,6 +30,7 @@ table-driven rather than branchy.
 
 from __future__ import annotations
 
+import dataclasses
 from collections import Counter as _TallyCounter
 from dataclasses import dataclass, field
 from typing import Dict, List
@@ -49,6 +50,12 @@ from repro.engine.trace import (
     Trace,
 )
 from repro.engine.window import SoAWindow
+
+#: Version tag of the timing model.  The sweep result store folds this into
+#: its cache keys, so bump it whenever a change alters simulated cycle counts
+#: (and mirror the change in ``bench/naive_ref.py``) — stale cached results
+#: then miss instead of being silently reused.
+ENGINE_VERSION = "1"
 
 _N_CLASSES = len(InstrClass)
 _BRANCH = int(InstrClass.BRANCH)
@@ -75,6 +82,42 @@ class KernelResult:
     @property
     def ipc(self) -> float:
         return self.n_instructions / self.cycles if self.cycles else 0.0
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-serializable raw totals (derived values like IPC excluded).
+
+        ``hop_histogram`` keys become strings (JSON objects only have string
+        keys); :meth:`from_dict` converts them back, so the round trip is
+        exact.
+        """
+        return {
+            "n_instructions": self.n_instructions,
+            "cycles": self.cycles,
+            "mispredicts": self.mispredicts,
+            "l1_misses": self.l1_misses,
+            "l2_misses": self.l2_misses,
+            "communications": self.communications,
+            "hop_histogram": {str(d): c for d, c in sorted(self.hop_histogram.items())},
+            "issued_per_cluster": list(self.issued_per_cluster),
+            "class_counts": list(self.class_counts),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "KernelResult":
+        expected = {f.name for f in dataclasses.fields(cls)}
+        unknown = sorted(set(data) - expected)
+        missing = sorted(expected - set(data))
+        if unknown or missing:
+            raise ValueError(
+                f"KernelResult.from_dict: unknown keys {unknown}, missing keys {missing}"
+            )
+        kwargs = dict(data)
+        kwargs["hop_histogram"] = {
+            int(d): int(c) for d, c in kwargs["hop_histogram"].items()  # type: ignore[union-attr]
+        }
+        kwargs["issued_per_cluster"] = list(kwargs["issued_per_cluster"])  # type: ignore[arg-type]
+        kwargs["class_counts"] = list(kwargs["class_counts"])  # type: ignore[arg-type]
+        return cls(**kwargs)  # type: ignore[arg-type]
 
 
 def build_tables(cfg: ProcessorConfig):
@@ -367,4 +410,4 @@ def simulate(trace: Trace, cfg: ProcessorConfig) -> KernelResult:
     )
 
 
-__all__ = ["KernelResult", "build_tables", "simulate"]
+__all__ = ["ENGINE_VERSION", "KernelResult", "build_tables", "simulate"]

@@ -9,13 +9,13 @@ the paper-figure sweeps: ``ipc``, ``cycles``, ``comm.hops`` and friends.
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Dict, Optional
 
 from repro.common.config import ProcessorConfig
 from repro.common.counters import StatGroup
 from repro.common.errors import SimulationError
 from repro.common.types import InstrClass
-from repro.engine.kernel import KernelResult, simulate
+from repro.engine.kernel import ENGINE_VERSION, KernelResult, simulate
 from repro.engine.trace import Trace
 
 
@@ -33,13 +33,33 @@ class Pipeline:
         ``issued.cluster<k>``, ``class.<name>``), the ``comm.hops`` histogram
         and derived scalars (``ipc``, ``comm.per_instr``).
         """
+        result = self._simulate_checked(trace)
+        name = stats_name if stats_name is not None else trace.name
+        return self._build_stats(name, result)
+
+    def run_record(self, trace: Trace) -> Dict[str, object]:
+        """Simulate ``trace`` and return a JSON-serializable result record.
+
+        This is the persistence-friendly sibling of :meth:`run`: the record
+        carries the raw :meth:`KernelResult.to_dict` totals plus the engine
+        version and the config digest so a result store can key and later
+        invalidate it.  Consumed by :mod:`repro.sweep`.
+        """
+        result = self._simulate_checked(trace)
+        return {
+            "engine_version": ENGINE_VERSION,
+            "config_digest": self.config.config_digest(),
+            "trace": trace.name,
+            "result": result.to_dict(),
+        }
+
+    def _simulate_checked(self, trace: Trace) -> KernelResult:
         result = simulate(trace, self.config)
         if result.n_instructions and result.cycles <= 0:
             raise SimulationError(
                 f"trace {trace.name!r}: simulation produced no forward progress"
             )
-        name = stats_name if stats_name is not None else trace.name
-        return self._build_stats(name, result)
+        return result
 
     def _build_stats(self, name: str, result: KernelResult) -> StatGroup:
         stats = StatGroup(name)

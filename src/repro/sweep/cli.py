@@ -1,0 +1,156 @@
+"""``python -m repro.sweep`` — run, report on, and inspect sweeps.
+
+Subcommands::
+
+    run     expand a spec (JSON file, --smoke, or --paper) and compute every
+            point not already in the store, sharded across worker processes
+    report  aggregate the store into paper-style markdown + CSV tables
+    list    print one line per stored result (or the registered mixes)
+
+The store is a JSON-lines file (default ``sweeps/store.jsonl``); re-running
+any spec against the same store only computes missing points.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List, Optional
+
+from repro.common.errors import ReproError
+from repro.sweep.grid import SweepSpec, paper_spec, smoke_spec
+from repro.sweep.report import build_tables, load_rows, write_report
+from repro.sweep.runner import default_workers, run_sweep
+from repro.sweep.store import ResultStore
+from repro.workloads import list_mixes
+
+DEFAULT_STORE = "sweeps/store.jsonl"
+DEFAULT_REPORT_DIR = "sweeps/report"
+
+
+def _load_spec(args: argparse.Namespace) -> SweepSpec:
+    chosen = [bool(args.spec), args.smoke, args.paper]
+    if sum(chosen) != 1:
+        raise ReproError(
+            "choose exactly one of --spec FILE, --smoke, --paper"
+        )
+    if args.smoke:
+        return smoke_spec()
+    if args.paper:
+        return paper_spec()
+    with open(args.spec, "r", encoding="utf-8") as fh:
+        return SweepSpec.from_dict(json.load(fh))
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    spec = _load_spec(args)
+    points = spec.expand()
+    store = ResultStore(args.store)
+    if store.recovered_bytes:
+        print(f"store: recovered truncated tail "
+              f"({store.recovered_bytes} bytes dropped)")
+    print(f"spec {spec.name!r}: {len(points)} points -> {args.store}")
+    summary = run_sweep(
+        points, store,
+        workers=args.workers,
+        force=args.force,
+        log=print if args.verbose else None,
+    )
+    print(summary.describe())
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    store = ResultStore(args.store)
+    if not len(store):
+        print(f"store {args.store!r} is empty; run a sweep first",
+              file=sys.stderr)
+        return 1
+    tables = build_tables(load_rows(store))
+    paths = write_report(store, args.out, tables=tables)
+    # The headline table goes to stdout; the files carry the rest.
+    for table in tables:
+        if table.slug == "ring_vs_conv":
+            print(table.to_markdown())
+            print()
+    for name in sorted(paths):
+        print(f"wrote {paths[name]}")
+    return 0
+
+
+def _cmd_list(args: argparse.Namespace) -> int:
+    if args.mixes:
+        for name in list_mixes():
+            print(name)
+        return 0
+    store = ResultStore(args.store)
+    for record in store.records():
+        point = record["point"]
+        config = point["config"]
+        result = record["result"]
+        cycles = result["cycles"]
+        n = result["n_instructions"]
+        ipc = n / cycles if cycles else 0.0
+        print(
+            f"{record['key']}  {point['mix']:<13s} "
+            f"{config['topology']:<4s} x{config['n_clusters']:<2d} "
+            f"{config['steering']:<11s} seed={point['seed']:<6d} "
+            f"n={n:<8d} ipc={ipc:.4f}"
+        )
+    print(f"{len(store)} record(s) in {args.store}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.sweep",
+        description=__doc__.splitlines()[0],
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run_p = sub.add_parser("run", help="expand a spec and compute its points")
+    run_p.add_argument("--spec", help="JSON sweep spec file")
+    run_p.add_argument("--smoke", action="store_true",
+                       help="built-in 24-point CI grid")
+    run_p.add_argument("--paper", action="store_true",
+                       help="built-in full paper-style grid")
+    run_p.add_argument("--store", default=DEFAULT_STORE)
+    run_p.add_argument("--workers", type=int, default=None,
+                       help=f"worker processes (default {default_workers()})")
+    run_p.add_argument("--force", action="store_true",
+                       help="recompute cached points")
+    run_p.add_argument("--verbose", action="store_true",
+                       help="log every computed point")
+    run_p.set_defaults(func=_cmd_run)
+
+    report_p = sub.add_parser("report", help="write markdown + CSV tables")
+    report_p.add_argument("--store", default=DEFAULT_STORE)
+    report_p.add_argument("--out", default=DEFAULT_REPORT_DIR)
+    report_p.set_defaults(func=_cmd_report)
+
+    list_p = sub.add_parser("list", help="print stored results (or mixes)")
+    list_p.add_argument("--store", default=DEFAULT_STORE)
+    list_p.add_argument("--mixes", action="store_true",
+                        help="list registered workload mixes instead")
+    list_p.set_defaults(func=_cmd_list)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        return args.func(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except BrokenPipeError:
+        # stdout went away (e.g. `... list | head`); exit quietly.
+        try:
+            sys.stdout.close()
+        except Exception:
+            pass
+        return 0
+
+
+__all__ = ["build_parser", "main"]

@@ -1,0 +1,274 @@
+"""Aggregate a result store into paper-style tables.
+
+Three tables mirror the shape of the paper's evaluation:
+
+* **IPC vs cluster count** — mean IPC per (mix, steering, cluster count)
+  for RING and CONV side by side, with the RING/CONV ratio (the paper's
+  headline comparison);
+* **RING/CONV relative IPC** — the ratio pivoted into one row per
+  (mix, steering) and one column per cluster count;
+* **Communication by steering policy** — messages per instruction, mean
+  hop distance and the hop-distance distribution per (steering, topology).
+
+Seeds are averaged (arithmetic mean); everything else stays a separate row.
+Output is markdown (one document) and CSV (one file per table).
+"""
+
+from __future__ import annotations
+
+import csv
+import os
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.common.errors import StoreError
+from repro.sweep.store import ResultStore
+
+
+@dataclass(frozen=True)
+class ResultRow:
+    """One store record flattened to the fields the tables consume."""
+
+    mix: str
+    topology: str
+    n_clusters: int
+    steering: str
+    seed: int
+    n_instructions: int
+    cycles: int
+    communications: int
+    hop_histogram: Tuple[Tuple[int, int], ...]
+
+    @property
+    def ipc(self) -> float:
+        return self.n_instructions / self.cycles if self.cycles else 0.0
+
+    @property
+    def comm_per_instr(self) -> float:
+        if not self.n_instructions:
+            return 0.0
+        return self.communications / self.n_instructions
+
+    @property
+    def hops_mean(self) -> float:
+        total = sum(count for _d, count in self.hop_histogram)
+        if not total:
+            return 0.0
+        return sum(d * count for d, count in self.hop_histogram) / total
+
+
+@dataclass
+class Table:
+    """A titled rectangular table renderable as markdown or CSV."""
+
+    title: str
+    slug: str
+    columns: List[str]
+    rows: List[List[Any]] = field(default_factory=list)
+
+    def to_markdown(self) -> str:
+        def cell(value: Any) -> str:
+            if isinstance(value, float):
+                return f"{value:.4f}"
+            return str(value)
+
+        lines = [f"### {self.title}", ""]
+        lines.append("| " + " | ".join(self.columns) + " |")
+        lines.append("|" + "|".join("---" for _ in self.columns) + "|")
+        for row in self.rows:
+            lines.append("| " + " | ".join(cell(v) for v in row) + " |")
+        return "\n".join(lines)
+
+    def write_csv(self, path: str) -> None:
+        with open(path, "w", newline="", encoding="utf-8") as fh:
+            writer = csv.writer(fh)
+            writer.writerow(self.columns)
+            for row in self.rows:
+                writer.writerow(
+                    [f"{v:.6f}" if isinstance(v, float) else v for v in row]
+                )
+
+
+def load_rows(store: ResultStore) -> List[ResultRow]:
+    """Flatten every store record; malformed records raise StoreError."""
+    rows: List[ResultRow] = []
+    for record in store.records():
+        try:
+            point = record["point"]
+            config = point["config"]
+            result = record["result"]
+            rows.append(
+                ResultRow(
+                    mix=point["mix"],
+                    topology=config["topology"],
+                    n_clusters=int(config["n_clusters"]),
+                    steering=config["steering"],
+                    seed=int(point["seed"]),
+                    n_instructions=int(result["n_instructions"]),
+                    cycles=int(result["cycles"]),
+                    communications=int(result["communications"]),
+                    hop_histogram=tuple(
+                        sorted(
+                            (int(d), int(c))
+                            for d, c in result["hop_histogram"].items()
+                        )
+                    ),
+                )
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise StoreError(
+                f"result store {store.path!r}: record "
+                f"{record.get('key', '<unkeyed>')!r} is not a sweep result "
+                f"({exc!r})"
+            ) from None
+    return rows
+
+
+def _mean(values: Sequence[float]) -> float:
+    return sum(values) / len(values) if values else 0.0
+
+
+def _group_ipc(
+    rows: Sequence[ResultRow],
+) -> Dict[Tuple[str, str, int, str], float]:
+    """Seed-averaged IPC keyed by (mix, steering, n_clusters, topology)."""
+    acc: Dict[Tuple[str, str, int, str], List[float]] = defaultdict(list)
+    for row in rows:
+        acc[(row.mix, row.steering, row.n_clusters, row.topology)].append(row.ipc)
+    return {key: _mean(vals) for key, vals in acc.items()}
+
+
+def ipc_vs_clusters_table(rows: Sequence[ResultRow]) -> Table:
+    """Mean IPC per cluster count, RING and CONV side by side."""
+    ipc = _group_ipc(rows)
+    table = Table(
+        title="IPC vs cluster count",
+        slug="ipc_vs_clusters",
+        columns=["mix", "steering", "n_clusters",
+                 "ring_ipc", "conv_ipc", "ring/conv"],
+    )
+    groups = sorted({(m, s, n) for m, s, n, _t in ipc})
+    for mix, steering, n_clusters in groups:
+        ring = ipc.get((mix, steering, n_clusters, "ring"))
+        conv = ipc.get((mix, steering, n_clusters, "conv"))
+        ratio = ring / conv if ring is not None and conv else None
+        table.rows.append([
+            mix, steering, n_clusters,
+            ring if ring is not None else "-",
+            conv if conv is not None else "-",
+            ratio if ratio is not None else "-",
+        ])
+    return table
+
+
+def relative_ipc_table(rows: Sequence[ResultRow]) -> Table:
+    """RING/CONV IPC ratio, one column per cluster count."""
+    ipc = _group_ipc(rows)
+    counts = sorted({n for _m, _s, n, _t in ipc})
+    table = Table(
+        title="RING/CONV relative IPC",
+        slug="ring_vs_conv",
+        columns=["mix", "steering"] + [f"x{n}" for n in counts],
+    )
+    for mix, steering in sorted({(m, s) for m, s, _n, _t in ipc}):
+        row: List[Any] = [mix, steering]
+        for n_clusters in counts:
+            ring = ipc.get((mix, steering, n_clusters, "ring"))
+            conv = ipc.get((mix, steering, n_clusters, "conv"))
+            row.append(ring / conv if ring is not None and conv else "-")
+        table.rows.append(row)
+    return table
+
+
+def communication_table(rows: Sequence[ResultRow]) -> Table:
+    """Communication traffic and hop-distance distribution per steering."""
+    groups: Dict[Tuple[str, str], List[ResultRow]] = defaultdict(list)
+    for row in rows:
+        groups[(row.steering, row.topology)].append(row)
+    max_hops = 0
+    for row in rows:
+        for d, _c in row.hop_histogram:
+            max_hops = max(max_hops, d)
+    table = Table(
+        title="Communication by steering policy",
+        slug="comm_by_steering",
+        columns=["steering", "topology", "comm_per_instr", "hops_mean"]
+        + [f"hop{d}_share" for d in range(max_hops + 1)],
+    )
+    for (steering, topology), members in sorted(groups.items()):
+        hop_totals = [0] * (max_hops + 1)
+        for row in members:
+            for d, count in row.hop_histogram:
+                hop_totals[d] += count
+        total = sum(hop_totals)
+        shares = [count / total if total else 0.0 for count in hop_totals]
+        table.rows.append(
+            [steering, topology,
+             _mean([r.comm_per_instr for r in members]),
+             _mean([r.hops_mean for r in members])]
+            + shares
+        )
+    return table
+
+
+def build_tables(rows: Sequence[ResultRow]) -> List[Table]:
+    return [
+        ipc_vs_clusters_table(rows),
+        relative_ipc_table(rows),
+        communication_table(rows),
+    ]
+
+
+def render_markdown(
+    tables: Sequence[Table],
+    store: Optional[ResultStore] = None,
+    meta: Optional[Mapping[str, Any]] = None,
+) -> str:
+    lines = ["# Sweep report", ""]
+    if store is not None:
+        lines.append(f"- store: `{store.path}` ({len(store)} records)")
+    for key, value in (meta or {}).items():
+        lines.append(f"- {key}: {value}")
+    if len(lines) > 2:
+        lines.append("")
+    for table in tables:
+        lines.append(table.to_markdown())
+        lines.append("")
+    return "\n".join(lines)
+
+
+def write_report(store: ResultStore, out_dir: str,
+                 meta: Optional[Mapping[str, Any]] = None,
+                 tables: Optional[Sequence[Table]] = None) -> Dict[str, str]:
+    """Write ``report.md`` plus one CSV per table; returns ``{name: path}``.
+
+    Callers that already built the tables (e.g. to also print one) pass
+    them via ``tables`` to avoid re-parsing the store.
+    """
+    if tables is None:
+        tables = build_tables(load_rows(store))
+    os.makedirs(out_dir, exist_ok=True)
+    paths: Dict[str, str] = {}
+    md_path = os.path.join(out_dir, "report.md")
+    with open(md_path, "w", encoding="utf-8") as fh:
+        fh.write(render_markdown(tables, store=store, meta=meta))
+    paths["report.md"] = md_path
+    for table in tables:
+        csv_path = os.path.join(out_dir, f"{table.slug}.csv")
+        table.write_csv(csv_path)
+        paths[f"{table.slug}.csv"] = csv_path
+    return paths
+
+
+__all__ = [
+    "ResultRow",
+    "Table",
+    "build_tables",
+    "communication_table",
+    "ipc_vs_clusters_table",
+    "load_rows",
+    "relative_ipc_table",
+    "render_markdown",
+    "write_report",
+]

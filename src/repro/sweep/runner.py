@@ -1,0 +1,176 @@
+"""Sharded execution of experiment points with store-backed caching.
+
+:func:`run_sweep` takes expanded :class:`~repro.sweep.grid.ExperimentPoint`
+lists, skips every point whose key is already in the
+:class:`~repro.sweep.store.ResultStore` (a *cache hit*), shards the rest
+across ``multiprocessing`` workers, and appends the computed records to the
+store **in expansion order** — never completion order — so identical sweeps
+yield byte-identical stores regardless of worker count or scheduling.
+
+Determinism: a point's simulation depends only on ``(config, mix,
+n_instructions, seed)`` — trace generation derives its stream from the
+point's own seed via :func:`repro.common.rng.spawn_rng` and the kernel is
+seedless — so sharding cannot change results, only wall-clock time.
+Per-point wall-clock timings are returned in :class:`SweepSummary` (and
+deliberately kept out of the store, which must stay reproducible).
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.engine.pipeline import Pipeline
+from repro.sweep.grid import ExperimentPoint
+from repro.sweep.store import ResultStore
+from repro.workloads import MIX_REGISTRY, generate_trace, get_mix, register_mix
+
+#: Smallest shard worth forking a worker pool for; below this the fork +
+#: import cost dwarfs the simulation work.
+MIN_POINTS_PER_WORKER = 2
+
+
+def default_workers() -> int:
+    """Default worker-process count: at least two (so sharding is always
+    exercised), at most eight, scaled to the machine in between."""
+    return max(2, min(8, multiprocessing.cpu_count()))
+
+
+def _payload_for(point: ExperimentPoint) -> Dict[str, Any]:
+    """Self-contained worker payload for one point.
+
+    Carries the full :class:`~repro.workloads.WorkloadMix` definition, not
+    just its name: under the ``spawn`` start method (macOS/Windows default)
+    workers re-import the package with a pristine registry, so a mix added
+    via :func:`register_mix` in the parent would otherwise be unknown there.
+    """
+    payload = point.to_dict()
+    payload["_mix_definition"] = get_mix(point.mix)
+    return payload
+
+
+def execute_point(payload: Dict[str, Any]) -> Tuple[Dict[str, Any], float]:
+    """Run one experiment point; returns ``(record, elapsed_seconds)``.
+
+    Module-level and picklable-in/picklable-out so it crosses process
+    boundaries under any start method.  ``payload`` is
+    :meth:`ExperimentPoint.to_dict` output, optionally with a
+    ``"_mix_definition"`` entry (see :func:`_payload_for`) registered here
+    if this interpreter does not know the mix yet.
+    """
+    t0 = time.perf_counter()
+    data = dict(payload)
+    mix_definition = data.pop("_mix_definition", None)
+    if mix_definition is not None and mix_definition.name not in MIX_REGISTRY:
+        register_mix(mix_definition)
+    point = ExperimentPoint.from_dict(data)
+    trace = generate_trace(point.mix, point.n_instructions, seed=point.seed)
+    record = Pipeline(point.config).run_record(trace)
+    record["key"] = point.key()
+    record["point"] = point.to_dict()
+    return record, time.perf_counter() - t0
+
+
+@dataclass
+class SweepSummary:
+    """What one :func:`run_sweep` call did."""
+
+    n_points: int
+    n_cached: int
+    n_computed: int
+    n_workers: int
+    elapsed_s: float
+    #: ``point key -> wall-clock seconds`` for freshly computed points only.
+    timings: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def cache_hit_rate(self) -> float:
+        return self.n_cached / self.n_points if self.n_points else 0.0
+
+    def describe(self) -> str:
+        slowest = ""
+        if self.timings:
+            worst_key = max(self.timings, key=self.timings.__getitem__)
+            slowest = (
+                f"; slowest point {self.timings[worst_key]*1e3:.0f} ms"
+            )
+        return (
+            f"{self.n_points} points: {self.n_cached} cached, "
+            f"{self.n_computed} computed on {self.n_workers} worker(s) "
+            f"in {self.elapsed_s:.2f}s{slowest}"
+        )
+
+
+def run_sweep(
+    points: Sequence[ExperimentPoint],
+    store: ResultStore,
+    workers: Optional[int] = None,
+    force: bool = False,
+    log: Optional[Callable[[str], None]] = None,
+) -> SweepSummary:
+    """Compute every point not already in ``store``; return a summary.
+
+    ``force=True`` recomputes cached points (their records are appended
+    again; last-wins on reload).  ``workers`` defaults to
+    :func:`default_workers`; the pool is skipped entirely when the pending
+    shard is too small to amortise process startup.
+    """
+    t0 = time.perf_counter()
+    n_workers = default_workers() if workers is None else max(1, int(workers))
+    say = log if log is not None else (lambda _msg: None)
+
+    # Deduplicate while preserving expansion order: a grid with repeated
+    # points (e.g. overlapping specs) must not compute the same key twice.
+    unique: List[Tuple[str, ExperimentPoint]] = []
+    seen = set()
+    for point in points:
+        key = point.key()
+        if key not in seen:
+            seen.add(key)
+            unique.append((key, point))
+
+    pending = [
+        (key, point) for key, point in unique if force or key not in store
+    ]
+    n_cached = len(unique) - len(pending)
+    say(f"sweep: {len(unique)} points, {n_cached} cache hits, "
+        f"{len(pending)} to compute")
+
+    timings: Dict[str, float] = {}
+    if pending:
+        payloads = [_payload_for(point) for _key, point in pending]
+        use_pool = (
+            n_workers > 1
+            and len(pending) >= n_workers * MIN_POINTS_PER_WORKER
+        )
+        if use_pool:
+            with multiprocessing.Pool(processes=n_workers) as pool:
+                outcomes = pool.map(execute_point, payloads, chunksize=1)
+        else:
+            outcomes = [execute_point(payload) for payload in payloads]
+        # Append in expansion order — map() already preserves it — so the
+        # store bytes do not depend on scheduling.
+        for (key, point), (record, elapsed) in zip(pending, outcomes):
+            store.append(record)
+            timings[key] = elapsed
+            say(f"  done {point.label()} ({elapsed*1e3:.0f} ms)")
+
+    return SweepSummary(
+        n_points=len(unique),
+        n_cached=n_cached,
+        n_computed=len(pending),
+        n_workers=n_workers,
+        elapsed_s=time.perf_counter() - t0,
+        timings=timings,
+    )
+
+
+__all__ = [
+    "MIN_POINTS_PER_WORKER",
+    "SweepSummary",
+    "default_workers",
+    "execute_point",
+    "run_sweep",
+]

@@ -1,0 +1,148 @@
+"""Append-only JSON-lines result store.
+
+One line per completed :class:`~repro.sweep.grid.ExperimentPoint`, keyed by
+the point's content hash.  The format is deliberately dumb — canonical JSON
+(sorted keys, no whitespace), one record per line — so that
+
+* a sweep interrupted mid-write loses at most its unfinished last line,
+  which :meth:`ResultStore.load` detects, drops from the loaded view, and
+  physically truncates just before the next append (an interior corrupt
+  line, by contrast, raises :class:`~repro.common.errors.StoreError`
+  because silently dropping completed results would be data loss);
+* re-running the same spec appends records in the same order with the same
+  bytes, so two fresh runs of one spec produce byte-identical stores — the
+  property the determinism tests pin.
+
+Wall-clock timings never enter the store (they would break byte-identity);
+the runner reports them in its :class:`~repro.sweep.runner.SweepSummary`.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Any, Dict, Iterator, List, Optional, Tuple
+
+from repro.common.errors import StoreError
+from repro.common.jsonutil import canonical_json
+
+
+class ResultStore:
+    """A keyed, append-only store of sweep result records.
+
+    Records are plain dicts with at least a ``"key"`` entry.  Appending an
+    existing key replaces the in-memory record (last-wins, matching what a
+    reload would see) and appends a new line; :meth:`compact` rewrites the
+    file with one line per live key.
+    """
+
+    def __init__(self, path: str, load: bool = True) -> None:
+        self.path = path
+        self._records: Dict[str, Dict[str, Any]] = {}
+        #: Bytes of truncated tail detected by the last load.
+        self.recovered_bytes = 0
+        # Byte offset the file must be cut back to before the next append.
+        # Repair is deferred to append() so that purely reading a store
+        # (report/list) never mutates the file — a concurrent writer may be
+        # mid-append, and what looks like a truncated tail to a reader is
+        # that writer's record in flight.
+        self._repair_offset: Optional[int] = None
+        if load:
+            self.load()
+
+    # -- persistence ------------------------------------------------------
+    def load(self) -> "ResultStore":
+        """(Re)read the backing file, detecting a truncated final line.
+
+        A truncated tail (interrupted append) is dropped from the in-memory
+        view and scheduled for physical truncation on the next
+        :meth:`append`; the file itself is not modified by loading.
+        """
+        self._records = {}
+        self.recovered_bytes = 0
+        self._repair_offset = None
+        if not os.path.exists(self.path):
+            return self
+        with open(self.path, "rb") as fh:
+            raw = fh.read()
+        offset = 0
+        entries: List[Tuple[int, bytes]] = []  # (start offset, line bytes)
+        for line in raw.split(b"\n"):
+            entries.append((offset, line))
+            offset += len(line) + 1
+        for idx, (start, line) in enumerate(entries):
+            if not line.strip():
+                continue
+            try:
+                record = json.loads(line.decode("utf-8"))
+                if not isinstance(record, dict) or "key" not in record:
+                    raise ValueError("record is not an object with a 'key'")
+            except (ValueError, UnicodeDecodeError) as exc:
+                is_last = all(not rest.strip() for _s, rest in entries[idx + 1:])
+                if is_last:
+                    self.recovered_bytes = len(raw) - start
+                    self._repair_offset = start
+                    return self
+                raise StoreError(
+                    f"result store {self.path!r}: corrupt interior record at "
+                    f"byte {start} ({exc}); refusing to load — the file needs "
+                    "manual repair (a truncated *final* line would have been "
+                    "recovered automatically)"
+                ) from None
+            self._records[record["key"]] = record
+        return self
+
+    def append(self, record: Dict[str, Any]) -> None:
+        """Persist ``record`` (which must carry a ``"key"``) durably."""
+        key = record.get("key")
+        if not isinstance(key, str) or not key:
+            raise StoreError(
+                f"result store {self.path!r}: record must have a non-empty "
+                f"string 'key', got {key!r}"
+            )
+        line = canonical_json(record)
+        parent = os.path.dirname(os.path.abspath(self.path))
+        os.makedirs(parent, exist_ok=True)
+        if self._repair_offset is not None:
+            with open(self.path, "r+b") as fh:
+                fh.truncate(self._repair_offset)
+            self._repair_offset = None
+        with open(self.path, "a", encoding="utf-8") as fh:
+            fh.write(line + "\n")
+            fh.flush()
+            os.fsync(fh.fileno())
+        self._records[key] = record
+
+    def compact(self) -> None:
+        """Rewrite the file with exactly one line per live key."""
+        tmp = self.path + ".tmp"
+        with open(tmp, "w", encoding="utf-8") as fh:
+            for record in self._records.values():
+                fh.write(canonical_json(record) + "\n")
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp, self.path)
+        self._repair_offset = None
+
+    # -- queries ----------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._records
+
+    def get(self, key: str, default: Optional[Dict[str, Any]] = None):
+        return self._records.get(key, default)
+
+    def keys(self) -> List[str]:
+        return list(self._records)
+
+    def records(self) -> Iterator[Dict[str, Any]]:
+        """Records in file (= insertion) order."""
+        return iter(self._records.values())
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"ResultStore({self.path!r}, {len(self)} records)"
+
+
+__all__ = ["ResultStore"]

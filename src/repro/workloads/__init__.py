@@ -8,9 +8,22 @@ EIO or textual traces) plug in here later behind the same
 
 from repro.workloads.synthetic import (
     MIXES,
+    MIX_REGISTRY,
     WorkloadMix,
     available_mixes,
     generate_trace,
+    get_mix,
+    list_mixes,
+    register_mix,
 )
 
-__all__ = ["MIXES", "WorkloadMix", "available_mixes", "generate_trace"]
+__all__ = [
+    "MIXES",
+    "MIX_REGISTRY",
+    "WorkloadMix",
+    "available_mixes",
+    "generate_trace",
+    "get_mix",
+    "list_mixes",
+    "register_mix",
+]

@@ -78,7 +78,11 @@ class WorkloadMix:
         return w / w.sum()
 
 
-MIXES: Dict[str, WorkloadMix] = {
+#: Registry of workload mixes, keyed by name.  The sweep grid and the CLI
+#: enumerate this via :func:`list_mixes`; new mixes are added through
+#: :func:`register_mix` (or by shipping them in the tuple below) without
+#: touching any dispatch site.
+MIX_REGISTRY: Dict[str, WorkloadMix] = {
     mix.name: mix
     for mix in (
         WorkloadMix(
@@ -141,8 +145,44 @@ MIXES: Dict[str, WorkloadMix] = {
 }
 
 
-def available_mixes() -> Tuple[str, ...]:
-    return tuple(sorted(MIXES))
+#: Backwards-compatible alias (pre-registry name).
+MIXES = MIX_REGISTRY
+
+
+def list_mixes() -> Tuple[str, ...]:
+    """Names of all registered workload mixes, sorted."""
+    return tuple(sorted(MIX_REGISTRY))
+
+
+#: Backwards-compatible alias for :func:`list_mixes`.
+available_mixes = list_mixes
+
+
+def get_mix(name: str) -> WorkloadMix:
+    """Look up a registered mix; unknown names list the valid ones."""
+    try:
+        return MIX_REGISTRY[name]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown workload mix {name!r}; available: {', '.join(list_mixes())}"
+        ) from None
+
+
+def register_mix(mix: WorkloadMix, overwrite: bool = False) -> WorkloadMix:
+    """Add ``mix`` to the registry (e.g. from a sweep spec or a plugin).
+
+    Registering a name that already exists raises
+    :class:`~repro.common.errors.ConfigurationError` unless ``overwrite=True``,
+    so two plugins cannot silently shadow each other.  Returns ``mix`` so the
+    call can be used as a decorator-style one-liner.
+    """
+    if not overwrite and mix.name in MIX_REGISTRY:
+        raise ConfigurationError(
+            f"workload mix {mix.name!r} is already registered; "
+            "pass overwrite=True to replace it"
+        )
+    MIX_REGISTRY[mix.name] = mix
+    return mix
 
 
 def generate_trace(
@@ -158,12 +198,7 @@ def generate_trace(
     pass the benchmark harness should not pay for.
     """
     if isinstance(mix, str):
-        try:
-            mix = MIXES[mix]
-        except KeyError:
-            raise ConfigurationError(
-                f"unknown workload mix {mix!r}; available: {available_mixes()}"
-            ) from None
+        mix = get_mix(mix)
     if n < 0:
         raise ConfigurationError(f"trace length must be non-negative, got {n}")
 
@@ -239,4 +274,13 @@ def generate_trace(
                  validate=validate)
 
 
-__all__ = ["MIXES", "WorkloadMix", "available_mixes", "generate_trace"]
+__all__ = [
+    "MIXES",
+    "MIX_REGISTRY",
+    "WorkloadMix",
+    "available_mixes",
+    "generate_trace",
+    "get_mix",
+    "list_mixes",
+    "register_mix",
+]

@@ -256,3 +256,49 @@ class TestNaiveReferenceAgreement:
         soa = simulate(t, cfg)
         assert naive["cycles"] == soa.cycles
         assert naive["communications"] == soa.communications
+
+
+class TestResultRecord:
+    """Serializable result records (consumed by the sweep result store)."""
+
+    def test_kernel_result_round_trip(self):
+        from repro.engine import KernelResult
+
+        t = generate_trace("int_heavy", 1500, seed=9)
+        result = simulate(t, ProcessorConfig())
+        data = result.to_dict()
+        rebuilt = KernelResult.from_dict(data)
+        assert rebuilt == result
+        assert rebuilt.ipc == result.ipc
+        # JSON round trip too: histogram keys survive str->int coercion
+        import json
+
+        rebuilt2 = KernelResult.from_dict(json.loads(json.dumps(data)))
+        assert rebuilt2 == result
+
+    def test_kernel_result_from_dict_rejects_bad_keys(self):
+        from repro.engine import KernelResult
+
+        t = generate_trace("int_heavy", 100, seed=9)
+        data = simulate(t, ProcessorConfig()).to_dict()
+        data["speedup"] = 2.0
+        with pytest.raises(ValueError, match="unknown keys"):
+            KernelResult.from_dict(data)
+        del data["speedup"]
+        del data["cycles"]
+        with pytest.raises(ValueError, match="missing keys"):
+            KernelResult.from_dict(data)
+
+    def test_pipeline_run_record(self):
+        from repro.engine import ENGINE_VERSION, Pipeline
+
+        cfg = ProcessorConfig(n_clusters=4, topology=Topology.RING)
+        t = generate_trace("int_heavy", 1000, seed=5)
+        record = Pipeline(cfg).run_record(t)
+        assert record["engine_version"] == ENGINE_VERSION
+        assert record["config_digest"] == cfg.config_digest()
+        assert record["trace"] == t.name
+        assert record["result"]["cycles"] == simulate(t, cfg).cycles
+        import json
+
+        json.dumps(record)  # fully JSON-serializable

@@ -1,0 +1,186 @@
+"""Report aggregation: tables, files, and the CLI round trip."""
+
+import csv
+import json
+import os
+
+import pytest
+
+from repro.common.errors import StoreError
+from repro.sweep.cli import main as cli_main
+from repro.sweep.grid import SweepSpec
+from repro.sweep.report import (
+    build_tables,
+    communication_table,
+    ipc_vs_clusters_table,
+    load_rows,
+    relative_ipc_table,
+    render_markdown,
+    write_report,
+)
+from repro.sweep.runner import run_sweep
+from repro.sweep.store import ResultStore
+
+
+@pytest.fixture(scope="module")
+def populated_store(tmp_path_factory):
+    spec = SweepSpec(
+        name="report-test",
+        topologies=("ring", "conv"),
+        cluster_counts=(2, 4),
+        steerings=("dependence", "round_robin"),
+        mixes=("int_heavy",),
+        n_instructions=400,
+        seeds=(1, 2),
+    )
+    path = str(tmp_path_factory.mktemp("report") / "store.jsonl")
+    store = ResultStore(path)
+    run_sweep(spec.expand(), store, workers=1)
+    return store
+
+
+class TestTables:
+    def test_load_rows(self, populated_store):
+        rows = load_rows(populated_store)
+        assert len(rows) == 16
+        for row in rows:
+            assert row.ipc > 0
+            assert row.cycles > 0
+            assert 0 <= row.comm_per_instr
+            assert row.topology in ("ring", "conv")
+
+    def test_ipc_vs_clusters(self, populated_store):
+        table = ipc_vs_clusters_table(load_rows(populated_store))
+        # 1 mix x 2 steerings x 2 cluster counts, seeds averaged away
+        assert len(table.rows) == 4
+        for row in table.rows:
+            ring, conv, ratio = row[3], row[4], row[5]
+            assert ring > 0 and conv > 0
+            assert ratio == pytest.approx(ring / conv)
+
+    def test_conv_beats_ring_under_dependence_steering(self, populated_store):
+        # The paper's central trade-off: the ring pays communication latency
+        # on every result, so with dependence steering CONV IPC is higher.
+        table = ipc_vs_clusters_table(load_rows(populated_store))
+        for row in table.rows:
+            if row[1] == "dependence":
+                assert row[5] < 1.0
+
+    def test_relative_ipc_pivot(self, populated_store):
+        table = relative_ipc_table(load_rows(populated_store))
+        assert table.columns == ["mix", "steering", "x2", "x4"]
+        assert len(table.rows) == 2
+
+    def test_communication_table(self, populated_store):
+        table = communication_table(load_rows(populated_store))
+        assert len(table.rows) == 4  # 2 steerings x 2 topologies
+        for row in table.rows:
+            shares = row[4:]
+            assert sum(shares) == pytest.approx(1.0)
+            # distance 0 never appears: local bypass is not a communication
+            assert shares[0] == 0.0
+
+    def test_seed_averaging(self, populated_store):
+        rows = load_rows(populated_store)
+        per_seed = {
+            row.seed: row.ipc
+            for row in rows
+            if (row.topology, row.n_clusters, row.steering)
+            == ("ring", 2, "dependence")
+        }
+        assert len(per_seed) == 2
+        table = ipc_vs_clusters_table(rows)
+        ring2 = next(r for r in table.rows
+                     if r[1] == "dependence" and r[2] == 2)
+        assert ring2[3] == pytest.approx(
+            sum(per_seed.values()) / len(per_seed))
+
+
+class TestRendering:
+    def test_markdown_contains_all_tables(self, populated_store):
+        text = render_markdown(build_tables(load_rows(populated_store)),
+                               store=populated_store)
+        assert "IPC vs cluster count" in text
+        assert "RING/CONV relative IPC" in text
+        assert "Communication by steering policy" in text
+
+    def test_write_report_files(self, populated_store, tmp_path):
+        out = str(tmp_path / "out")
+        paths = write_report(populated_store, out)
+        assert set(paths) == {
+            "report.md", "ipc_vs_clusters.csv",
+            "ring_vs_conv.csv", "comm_by_steering.csv",
+        }
+        for path in paths.values():
+            assert os.path.getsize(path) > 0
+        with open(paths["ipc_vs_clusters.csv"], newline="") as fh:
+            parsed = list(csv.reader(fh))
+        assert parsed[0][:3] == ["mix", "steering", "n_clusters"]
+        assert len(parsed) == 5  # header + 4 aggregated rows
+
+    def test_malformed_record_raises_store_error(self, tmp_path):
+        store = ResultStore(str(tmp_path / "bad.jsonl"))
+        store.append({"key": "k1", "not_a_sweep_record": True})
+        with pytest.raises(StoreError, match="not a sweep result"):
+            load_rows(store)
+
+
+class TestCli:
+    def test_run_then_report(self, tmp_path, capsys):
+        spec_path = str(tmp_path / "spec.json")
+        store_path = str(tmp_path / "store.jsonl")
+        out_dir = str(tmp_path / "report")
+        spec = {
+            "name": "cli-test",
+            "topologies": ["ring", "conv"],
+            "cluster_counts": [2],
+            "steerings": ["dependence"],
+            "mixes": ["int_heavy"],
+            "n_instructions": 200,
+            "seeds": [1],
+        }
+        with open(spec_path, "w") as fh:
+            json.dump(spec, fh)
+
+        assert cli_main(["run", "--spec", spec_path,
+                         "--store", store_path, "--workers", "1"]) == 0
+        first = capsys.readouterr().out
+        assert "2 computed" in first
+
+        assert cli_main(["run", "--spec", spec_path,
+                         "--store", store_path, "--workers", "1"]) == 0
+        second = capsys.readouterr().out
+        assert "2 cached, 0 computed" in second
+
+        assert cli_main(["report", "--store", store_path,
+                         "--out", out_dir]) == 0
+        report_out = capsys.readouterr().out
+        assert "RING/CONV relative IPC" in report_out
+        assert os.path.exists(os.path.join(out_dir, "report.md"))
+
+        assert cli_main(["list", "--store", store_path]) == 0
+        listing = capsys.readouterr().out
+        assert "2 record(s)" in listing
+        assert "int_heavy" in listing
+
+    def test_unknown_spec_key_fails_cleanly(self, tmp_path, capsys):
+        spec_path = str(tmp_path / "spec.json")
+        with open(spec_path, "w") as fh:
+            json.dump({"name": "x", "n_points": 5}, fh)
+        assert cli_main(["run", "--spec", spec_path,
+                         "--store", str(tmp_path / "s.jsonl")]) == 2
+        assert "unknown key" in capsys.readouterr().err
+
+    def test_report_empty_store_fails(self, tmp_path, capsys):
+        assert cli_main(["report", "--store",
+                         str(tmp_path / "missing.jsonl")]) == 1
+        assert "empty" in capsys.readouterr().err
+
+    def test_list_mixes(self, capsys):
+        assert cli_main(["list", "--mixes"]) == 0
+        out = capsys.readouterr().out
+        assert "int_heavy" in out and "branchy" in out
+
+    def test_run_requires_exactly_one_spec_source(self, capsys):
+        assert cli_main(["run"]) == 2
+        assert "exactly one" in capsys.readouterr().err

@@ -1,0 +1,148 @@
+"""Sweep runner: determinism, caching, sharding, correctness vs the engine."""
+
+from repro.engine import ENGINE_VERSION, Pipeline
+from repro.sweep.grid import SweepSpec
+from repro.sweep.runner import execute_point, run_sweep
+from repro.sweep.store import ResultStore
+from repro.workloads import generate_trace
+
+
+def small_spec(**kwargs) -> SweepSpec:
+    defaults = dict(
+        name="small",
+        topologies=("ring", "conv"),
+        cluster_counts=(2, 4),
+        steerings=("dependence",),
+        mixes=("int_heavy",),
+        n_instructions=300,
+        seeds=(7,),
+    )
+    defaults.update(kwargs)
+    return SweepSpec(**defaults)
+
+
+class TestRunner:
+    def test_computes_every_point(self, tmp_path):
+        spec = small_spec()
+        store = ResultStore(str(tmp_path / "store.jsonl"))
+        summary = run_sweep(spec.expand(), store, workers=1)
+        assert summary.n_points == 4
+        assert summary.n_computed == 4
+        assert summary.n_cached == 0
+        assert len(store) == 4
+        assert set(summary.timings) == set(store.keys())
+        assert all(t >= 0 for t in summary.timings.values())
+
+    def test_second_run_all_cache_hits(self, tmp_path):
+        spec = small_spec()
+        path = str(tmp_path / "store.jsonl")
+        run_sweep(spec.expand(), store=ResultStore(path), workers=1)
+        with open(path, "rb") as fh:
+            first_bytes = fh.read()
+        summary = run_sweep(spec.expand(), store=ResultStore(path), workers=1)
+        assert summary.n_computed == 0
+        assert summary.n_cached == 4
+        assert summary.cache_hit_rate == 1.0
+        with open(path, "rb") as fh:
+            assert fh.read() == first_bytes
+
+    def test_two_fresh_runs_byte_identical(self, tmp_path):
+        spec = small_spec()
+        path_a = str(tmp_path / "a.jsonl")
+        path_b = str(tmp_path / "b.jsonl")
+        run_sweep(spec.expand(), ResultStore(path_a), workers=1)
+        run_sweep(spec.expand(), ResultStore(path_b), workers=1)
+        with open(path_a, "rb") as fa, open(path_b, "rb") as fb:
+            assert fa.read() == fb.read()
+
+    def test_multiprocess_matches_inline(self, tmp_path):
+        spec = small_spec(cluster_counts=(2, 4, 8))  # 6 points >= pool floor
+        path_inline = str(tmp_path / "inline.jsonl")
+        path_pool = str(tmp_path / "pool.jsonl")
+        run_sweep(spec.expand(), ResultStore(path_inline), workers=1)
+        summary = run_sweep(spec.expand(), ResultStore(path_pool), workers=2)
+        assert summary.n_workers == 2
+        assert summary.n_computed == 6
+        with open(path_inline, "rb") as fi, open(path_pool, "rb") as fp:
+            assert fi.read() == fp.read()
+
+    def test_partial_store_resumes(self, tmp_path):
+        spec = small_spec()
+        points = spec.expand()
+        path = str(tmp_path / "store.jsonl")
+        run_sweep(points[:2], ResultStore(path), workers=1)
+        summary = run_sweep(points, ResultStore(path), workers=1)
+        assert summary.n_cached == 2
+        assert summary.n_computed == 2
+        assert len(ResultStore(path)) == 4
+
+    def test_force_recomputes(self, tmp_path):
+        spec = small_spec()
+        store = ResultStore(str(tmp_path / "store.jsonl"))
+        run_sweep(spec.expand(), store, workers=1)
+        summary = run_sweep(spec.expand(), store, workers=1, force=True)
+        assert summary.n_computed == 4
+        assert summary.n_cached == 0
+
+    def test_duplicate_points_computed_once(self, tmp_path):
+        points = small_spec().expand()
+        store = ResultStore(str(tmp_path / "store.jsonl"))
+        summary = run_sweep(points + points, store, workers=1)
+        assert summary.n_points == 4
+        assert summary.n_computed == 4
+
+
+class TestRecordContents:
+    def test_record_matches_direct_engine_run(self, tmp_path):
+        spec = small_spec()
+        points = spec.expand()
+        store = ResultStore(str(tmp_path / "store.jsonl"))
+        run_sweep(points, store, workers=1)
+        for point in points:
+            record = store.get(point.key())
+            trace = generate_trace(point.mix, point.n_instructions,
+                                   seed=point.seed)
+            expected = Pipeline(point.config).run_record(trace)
+            assert record["result"] == expected["result"]
+            assert record["engine_version"] == ENGINE_VERSION
+            assert record["config_digest"] == point.config.config_digest()
+            assert record["point"] == point.to_dict()
+
+    def test_execute_point_round_trips_through_dicts(self):
+        point = small_spec().expand()[0]
+        record, elapsed = execute_point(point.to_dict())
+        assert record["key"] == point.key()
+        assert elapsed >= 0
+        assert record["result"]["n_instructions"] == point.n_instructions
+
+    def test_custom_mix_survives_fresh_worker_interpreter(self, tmp_path):
+        # Under the spawn start method a worker re-imports the package with
+        # a pristine registry; the payload must carry the mix definition.
+        from repro.common.config import ProcessorConfig
+        from repro.common.types import InstrClass
+        from repro.sweep.grid import ExperimentPoint
+        from repro.sweep.runner import _payload_for
+        from repro.workloads import MIX_REGISTRY, WorkloadMix, register_mix
+
+        mix = WorkloadMix(
+            name="spawn_test_mix",
+            class_weights={InstrClass.INT_ALU: 0.6, InstrClass.LOAD: 0.4},
+        )
+        register_mix(mix)
+        try:
+            point = ExperimentPoint(ProcessorConfig(), "spawn_test_mix", 200, 3)
+            key = point.key()
+            payload = _payload_for(point)
+            # Simulate the fresh interpreter: the registry forgets the mix.
+            MIX_REGISTRY.pop("spawn_test_mix")
+            record, _elapsed = execute_point(payload)
+            assert record["key"] == key
+            assert record["result"]["n_instructions"] == 200
+            # ... and a full sweep over the custom mix works too.
+            register_mix(mix, overwrite=True)
+            store = ResultStore(str(tmp_path / "store.jsonl"))
+            summary = run_sweep([point], store, workers=1)
+            assert summary.n_computed == 1
+            assert store.get(key)["result"] == record["result"]
+        finally:
+            MIX_REGISTRY.pop("spawn_test_mix", None)

@@ -1,0 +1,134 @@
+"""ResultStore: durability, recovery, and corruption detection."""
+
+import json
+import os
+
+import pytest
+
+from repro.common.errors import StoreError
+from repro.sweep.store import ResultStore
+
+
+def record(key: str, value: int = 0) -> dict:
+    return {"key": key, "value": value}
+
+
+class TestBasics:
+    def test_append_and_reload(self, tmp_path):
+        path = str(tmp_path / "store.jsonl")
+        store = ResultStore(path)
+        store.append(record("a", 1))
+        store.append(record("b", 2))
+        assert len(store) == 2
+        reloaded = ResultStore(path)
+        assert len(reloaded) == 2
+        assert reloaded.get("a") == record("a", 1)
+        assert "b" in reloaded and "c" not in reloaded
+
+    def test_missing_file_is_empty(self, tmp_path):
+        store = ResultStore(str(tmp_path / "nope.jsonl"))
+        assert len(store) == 0
+        assert store.get("x") is None
+
+    def test_records_preserve_insertion_order(self, tmp_path):
+        path = str(tmp_path / "store.jsonl")
+        store = ResultStore(path)
+        for key in ("z", "a", "m"):
+            store.append(record(key))
+        assert [r["key"] for r in ResultStore(path).records()] == ["z", "a", "m"]
+
+    def test_append_without_key_rejected(self, tmp_path):
+        store = ResultStore(str(tmp_path / "store.jsonl"))
+        with pytest.raises(StoreError, match="key"):
+            store.append({"value": 1})
+
+    def test_creates_parent_directory(self, tmp_path):
+        path = str(tmp_path / "deep" / "dir" / "store.jsonl")
+        ResultStore(path).append(record("a"))
+        assert os.path.exists(path)
+
+    def test_duplicate_key_last_wins(self, tmp_path):
+        path = str(tmp_path / "store.jsonl")
+        store = ResultStore(path)
+        store.append(record("a", 1))
+        store.append(record("a", 2))
+        assert store.get("a")["value"] == 2
+        assert ResultStore(path).get("a")["value"] == 2
+
+    def test_compact_deduplicates_file(self, tmp_path):
+        path = str(tmp_path / "store.jsonl")
+        store = ResultStore(path)
+        store.append(record("a", 1))
+        store.append(record("a", 2))
+        store.append(record("b", 3))
+        store.compact()
+        with open(path) as fh:
+            lines = [line for line in fh.read().splitlines() if line]
+        assert len(lines) == 2
+        reloaded = ResultStore(path)
+        assert reloaded.get("a")["value"] == 2
+
+
+class TestRecovery:
+    def _store_with_tail(self, tmp_path, tail: bytes) -> str:
+        path = str(tmp_path / "store.jsonl")
+        store = ResultStore(path)
+        store.append(record("a", 1))
+        store.append(record("b", 2))
+        with open(path, "ab") as fh:
+            fh.write(tail)
+        return path
+
+    def test_truncated_last_line_recovered(self, tmp_path):
+        path = self._store_with_tail(tmp_path, b'{"key": "c", "val')
+        store = ResultStore(path)
+        assert store.recovered_bytes > 0
+        assert len(store) == 2
+        assert "c" not in store
+
+    def test_recovery_truncates_file_for_future_appends(self, tmp_path):
+        path = self._store_with_tail(tmp_path, b'{"key": "c"')
+        store = ResultStore(path)
+        store.append(record("c", 3))
+        reloaded = ResultStore(path)
+        assert reloaded.recovered_bytes == 0
+        assert len(reloaded) == 3
+        assert reloaded.get("c") == record("c", 3)
+
+    def test_read_only_load_leaves_file_untouched(self, tmp_path):
+        # A reader (report/list) must never mutate the file: the "truncated
+        # tail" it sees may be a concurrent writer's append in flight.
+        path = self._store_with_tail(tmp_path, b'{"key": "c", "val')
+        with open(path, "rb") as fh:
+            before = fh.read()
+        store = ResultStore(path)
+        assert store.recovered_bytes > 0
+        with open(path, "rb") as fh:
+            assert fh.read() == before
+
+    def test_truncated_tail_with_newline_recovered(self, tmp_path):
+        path = self._store_with_tail(tmp_path, b'{"key": "c", "val\n')
+        store = ResultStore(path)
+        assert len(store) == 2
+        assert store.recovered_bytes > 0
+
+    def test_non_object_tail_recovered(self, tmp_path):
+        # Valid JSON but not a keyed record — same recovery path.
+        path = self._store_with_tail(tmp_path, b"[1, 2, 3]")
+        assert len(ResultStore(path)) == 2
+
+    def test_corrupt_interior_line_raises(self, tmp_path):
+        path = str(tmp_path / "store.jsonl")
+        good = json.dumps(record("b", 2))
+        with open(path, "w") as fh:
+            fh.write('{"key": "a", "broken...\n')
+            fh.write(good + "\n")
+        with pytest.raises(StoreError, match="corrupt interior record"):
+            ResultStore(path)
+
+    def test_blank_lines_tolerated(self, tmp_path):
+        path = str(tmp_path / "store.jsonl")
+        with open(path, "w") as fh:
+            fh.write(json.dumps(record("a", 1)) + "\n\n")
+            fh.write(json.dumps(record("b", 2)) + "\n")
+        assert len(ResultStore(path)) == 2
