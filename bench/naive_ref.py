@@ -235,6 +235,10 @@ class NaivePipeline:
         mispredicts = 0
         l1_misses = 0
         l2_misses = 0
+        issued_per_cluster = [0] * cfg.n_clusters
+        class_counts = [0] * len(InstrClass)
+        for instr in instructions:
+            class_counts[int(instr.opclass)] += 1
 
         for instr in instructions:
             ready = frontend.fetch(instr)
@@ -280,6 +284,7 @@ class NaivePipeline:
                 issue = max(ready, unit.free_at)
                 issue = cluster.find_issue_slot(issue)
                 unit.reserve(issue, occupancy[instr.opclass])
+                issued_per_cluster[cluster_idx] += 1
             instr.issue_cycle = issue
 
             # Execute.
@@ -320,6 +325,9 @@ class NaivePipeline:
             "l1_misses": l1_misses,
             "l2_misses": l2_misses,
             "communications": interconnect.communications,
+            "hop_histogram": dict(sorted(interconnect.hop_histogram.items())),
+            "issued_per_cluster": issued_per_cluster,
+            "class_counts": class_counts,
         }
 
 

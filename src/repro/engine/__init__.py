@@ -4,11 +4,35 @@ Performance-first core of the reproduction: struct-of-arrays traces and
 window state (:mod:`repro.engine.trace`, :mod:`repro.engine.window`), the
 table-driven issue/execute/writeback kernel (:mod:`repro.engine.kernel`)
 covering both the paper's ring topology and the conventional clustered
-baseline, and the public :class:`~repro.engine.pipeline.Pipeline` facade.
+baseline, the per-configuration specializing compiler
+(:mod:`repro.engine.codegen`), and the public
+:class:`~repro.engine.pipeline.Pipeline` facade with its ``kernel_variant``
+selector.
 """
 
-from repro.engine.kernel import ENGINE_VERSION, KernelResult, build_tables, simulate
-from repro.engine.pipeline import Pipeline
+from repro.engine.codegen import (
+    clear_registry,
+    compile_kernel,
+    emit_kernel_source,
+    get_kernel,
+    registry_size,
+    simulate_specialized,
+    specialization_key,
+)
+from repro.engine.kernel import (
+    ENGINE_VERSION,
+    KernelResult,
+    STAGES,
+    build_tables,
+    simulate,
+)
+from repro.engine.pipeline import (
+    DEFAULT_KERNEL_VARIANT,
+    KERNEL_VARIANTS,
+    KERNEL_VARIANT_ENV,
+    Pipeline,
+    resolve_kernel_variant,
+)
 from repro.engine.trace import (
     FLAG_L1_MISS,
     FLAG_L2_MISS,
@@ -18,14 +42,26 @@ from repro.engine.trace import (
 from repro.engine.window import SoAWindow
 
 __all__ = [
+    "DEFAULT_KERNEL_VARIANT",
     "ENGINE_VERSION",
     "FLAG_L1_MISS",
     "FLAG_L2_MISS",
     "FLAG_MISPREDICT",
+    "KERNEL_VARIANTS",
+    "KERNEL_VARIANT_ENV",
     "KernelResult",
     "Pipeline",
+    "STAGES",
     "SoAWindow",
     "Trace",
     "build_tables",
+    "clear_registry",
+    "compile_kernel",
+    "emit_kernel_source",
+    "get_kernel",
+    "registry_size",
+    "resolve_kernel_variant",
     "simulate",
+    "simulate_specialized",
+    "specialization_key",
 ]

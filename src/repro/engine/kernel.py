@@ -55,7 +55,31 @@ from repro.engine.window import SoAWindow
 #: its cache keys, so bump it whenever a change alters simulated cycle counts
 #: (and mirror the change in ``bench/naive_ref.py``) — stale cached results
 #: then miss instead of being silently reused.
+#:
+#: The timing model is implemented twice on purpose: the generic loop below
+#: and the per-config specialized variants emitted by
+#: :mod:`repro.engine.codegen`.  A codegen change that alters simulated
+#: cycles is a timing-model change like any other and must bump this version
+#: (and the generic loop and ``bench/naive_ref.py`` must be updated to
+#: match); codegen changes that keep every :class:`KernelResult` field
+#: identical — the normal case, enforced by the differential fuzz tests and
+#: the bench agreement gate — must NOT bump it, so cached sweep stores stay
+#: valid.
 ENGINE_VERSION = "1"
+
+#: Authoritative pipeline stage order.  The generic loop below and the
+#: per-stage emitters in :mod:`repro.engine.codegen` are both organised
+#: around this exact sequence; codegen asserts it emits these stages in
+#: this order, so the two kernels cannot silently drift structurally.
+STAGES = (
+    "fetch",
+    "steering",
+    "operands",
+    "issue",
+    "execute",
+    "writeback",
+    "retire",
+)
 
 _N_CLASSES = len(InstrClass)
 _BRANCH = int(InstrClass.BRANCH)
@@ -112,9 +136,16 @@ class KernelResult:
                 f"KernelResult.from_dict: unknown keys {unknown}, missing keys {missing}"
             )
         kwargs = dict(data)
-        kwargs["hop_histogram"] = {
-            int(d): int(c) for d, c in kwargs["hop_histogram"].items()  # type: ignore[union-attr]
-        }
+        hop_histogram: Dict[int, int] = {}
+        for d, c in kwargs["hop_histogram"].items():  # type: ignore[union-attr]
+            try:
+                hop_histogram[int(d)] = int(c)
+            except (TypeError, ValueError) as exc:
+                raise ValueError(
+                    f"KernelResult.from_dict: hop_histogram entry {d!r}: {c!r} "
+                    f"is not coercible to int counts"
+                ) from exc
+        kwargs["hop_histogram"] = hop_histogram
         kwargs["issued_per_cluster"] = list(kwargs["issued_per_cluster"])  # type: ignore[arg-type]
         kwargs["class_counts"] = list(kwargs["class_counts"])  # type: ignore[arg-type]
         return cls(**kwargs)  # type: ignore[arg-type]
@@ -129,6 +160,31 @@ def build_tables(cfg: ProcessorConfig):
     fu_for = [int(FU_FOR_CLASS[InstrClass(k)]) for k in range(_N_CLASSES)]
     has_dst = [DEST_REGCLASS_FOR_CLASS[InstrClass(k)] is not None for k in range(_N_CLASSES)]
     return latency, occupancy, fu_for, has_dst
+
+
+def check_fu_coverage(trace_name, class_counts, fu_counts, fu_for) -> None:
+    """Reject configs that cannot run the tallied instruction classes.
+
+    Shared by the generic loop and every :mod:`repro.engine.codegen` variant:
+    every instruction class present in the trace must have at least one unit
+    of its FU type (clusters are homogeneous), otherwise the issue stage
+    would index an empty unit list deep in the loop.
+    """
+    for k in range(_N_CLASSES):
+        if class_counts[k] and k != _NOP and fu_counts[fu_for[k]] == 0:
+            raise ConfigurationError(
+                f"trace {trace_name!r} contains {InstrClass(k).name} but the "
+                f"cluster configuration has zero units of its functional-unit "
+                f"type (fu_counts={tuple(fu_counts)})"
+            )
+
+
+def preflight_class_counts(trace_name, opclass, fu_counts, fu_for) -> List[int]:
+    """Tally instruction classes and run :func:`check_fu_coverage`."""
+    tally = _TallyCounter(opclass)
+    class_counts = [tally.get(k, 0) for k in range(_N_CLASSES)]
+    check_fu_coverage(trace_name, class_counts, fu_counts, fu_for)
+    return class_counts
 
 
 def simulate(trace: Trace, cfg: ProcessorConfig) -> KernelResult:
@@ -159,18 +215,7 @@ def simulate(trace: Trace, cfg: ProcessorConfig) -> KernelResult:
     steer_mod = cfg.steering == "modulo"
 
     fu_counts = cfg.cluster.fu_counts
-    # Pre-flight: every instruction class present in the trace must have at
-    # least one unit of its FU type (clusters are homogeneous), otherwise the
-    # issue stage would index an empty unit list deep in the loop.
-    tally = _TallyCounter(opclass)
-    class_counts = [tally.get(k, 0) for k in range(_N_CLASSES)]
-    for k in range(_N_CLASSES):
-        if class_counts[k] and k != _NOP and fu_counts[fu_for[k]] == 0:
-            raise ConfigurationError(
-                f"trace {trace.name!r} contains {InstrClass(k).name} but the "
-                f"cluster configuration has zero units of its functional-unit "
-                f"type (fu_counts={tuple(fu_counts)})"
-            )
+    class_counts = preflight_class_counts(trace.name, opclass, fu_counts, fu_for)
     # fu_free[c * _N_FU + t] -> list of next-free cycles, one entry per unit.
     fu_free: List[List[int]] = [
         [0] * fu_counts[t] for _c in range(n_clusters) for t in range(_N_FU)
@@ -410,4 +455,12 @@ def simulate(trace: Trace, cfg: ProcessorConfig) -> KernelResult:
     )
 
 
-__all__ = ["ENGINE_VERSION", "KernelResult", "build_tables", "simulate"]
+__all__ = [
+    "ENGINE_VERSION",
+    "KernelResult",
+    "STAGES",
+    "build_tables",
+    "check_fu_coverage",
+    "preflight_class_counts",
+    "simulate",
+]

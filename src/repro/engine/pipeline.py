@@ -9,21 +9,61 @@ the paper-figure sweeps: ``ipc``, ``cycles``, ``comm.hops`` and friends.
 
 from __future__ import annotations
 
+import os
 from typing import Dict, Optional
 
 from repro.common.config import ProcessorConfig
 from repro.common.counters import StatGroup
-from repro.common.errors import SimulationError
+from repro.common.errors import ConfigurationError, SimulationError
 from repro.common.types import InstrClass
+from repro.engine.codegen import simulate_specialized
 from repro.engine.kernel import ENGINE_VERSION, KernelResult, simulate
 from repro.engine.trace import Trace
 
+#: Valid values for ``Pipeline(kernel_variant=...)``.
+KERNEL_VARIANTS = ("generic", "specialized")
+
+#: Default kernel variant; ``specialized`` compiles a branch-free kernel per
+#: machine configuration (see :mod:`repro.engine.codegen`).  Both variants
+#: produce identical :class:`KernelResult` totals by contract.
+DEFAULT_KERNEL_VARIANT = "specialized"
+
+#: Environment override for the default variant — set
+#: ``REPRO_KERNEL_VARIANT=generic`` to force the readable interpreted loop
+#: (e.g. when debugging a suspected codegen issue) without touching code.
+KERNEL_VARIANT_ENV = "REPRO_KERNEL_VARIANT"
+
+
+def resolve_kernel_variant(kernel_variant: Optional[str]) -> str:
+    """Validate/default a variant name, honouring :data:`KERNEL_VARIANT_ENV`."""
+    if kernel_variant is None:
+        kernel_variant = os.environ.get(KERNEL_VARIANT_ENV, DEFAULT_KERNEL_VARIANT)
+    if kernel_variant not in KERNEL_VARIANTS:
+        raise ConfigurationError(
+            f"unknown kernel variant {kernel_variant!r}; "
+            f"valid: {list(KERNEL_VARIANTS)}"
+        )
+    return kernel_variant
+
 
 class Pipeline:
-    """A configured ring- or conventionally-clustered processor model."""
+    """A configured ring- or conventionally-clustered processor model.
 
-    def __init__(self, config: Optional[ProcessorConfig] = None) -> None:
+    ``kernel_variant`` selects the simulation kernel: ``"specialized"``
+    (default) runs the per-config compiled kernel from
+    :mod:`repro.engine.codegen`; ``"generic"`` runs the readable
+    table-driven loop in :mod:`repro.engine.kernel`.  The two are required
+    to produce identical results — ``generic`` exists as the oracle and
+    debugging surface, not as a different model.
+    """
+
+    def __init__(
+        self,
+        config: Optional[ProcessorConfig] = None,
+        kernel_variant: Optional[str] = None,
+    ) -> None:
         self.config = config if config is not None else ProcessorConfig()
+        self.kernel_variant = resolve_kernel_variant(kernel_variant)
 
     def run(self, trace: Trace, stats_name: Optional[str] = None) -> StatGroup:
         """Simulate ``trace`` and return its statistics.
@@ -54,7 +94,10 @@ class Pipeline:
         }
 
     def _simulate_checked(self, trace: Trace) -> KernelResult:
-        result = simulate(trace, self.config)
+        if self.kernel_variant == "specialized":
+            result = simulate_specialized(trace, self.config)
+        else:
+            result = simulate(trace, self.config)
         if result.n_instructions and result.cycles <= 0:
             raise SimulationError(
                 f"trace {trace.name!r}: simulation produced no forward progress"
@@ -87,4 +130,10 @@ class Pipeline:
         return stats
 
 
-__all__ = ["Pipeline"]
+__all__ = [
+    "DEFAULT_KERNEL_VARIANT",
+    "KERNEL_VARIANTS",
+    "KERNEL_VARIANT_ENV",
+    "Pipeline",
+    "resolve_kernel_variant",
+]

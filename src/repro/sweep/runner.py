@@ -13,23 +13,73 @@ point's own seed via :func:`repro.common.rng.spawn_rng` and the kernel is
 seedless — so sharding cannot change results, only wall-clock time.
 Per-point wall-clock timings are returned in :class:`SweepSummary` (and
 deliberately kept out of the store, which must stay reproducible).
+
+Each worker process keeps two warm caches: the LRU trace memo here (a grid
+that varies only machine config reuses one generated trace for all its
+points) and the per-config compiled-kernel registry in
+:mod:`repro.engine.codegen` (points sharing a structural specialization key
+share one compiled kernel).  Neither affects results — only wall-clock.
 """
 
 from __future__ import annotations
 
 import multiprocessing
 import time
+from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.engine.pipeline import Pipeline
+from repro.engine.trace import Trace
 from repro.sweep.grid import ExperimentPoint
 from repro.sweep.store import ResultStore
-from repro.workloads import MIX_REGISTRY, generate_trace, get_mix, register_mix
+from repro.workloads import (
+    MIX_REGISTRY,
+    WorkloadMix,
+    generate_trace,
+    get_mix,
+    register_mix,
+)
 
 #: Smallest shard worth forking a worker pool for; below this the fork +
 #: import cost dwarfs the simulation work.
 MIN_POINTS_PER_WORKER = 2
+
+#: Per-process bound on memoized traces (see :func:`_cached_trace`).
+TRACE_CACHE_SIZE = 8
+
+#: ``(mix_name, n_instructions, seed) -> (mix_definition, trace)``.
+#: Process-global on purpose: a grid that varies only the config re-uses one
+#: generated trace across all its points instead of regenerating it per
+#: point, and each pool worker warms its own copy.  The mix definition is
+#: kept alongside the trace so a ``register_mix(..., overwrite=True)`` that
+#: changes a mix's parameters busts the entry instead of serving a trace
+#: generated under the old definition.  (The per-config *kernel* cache lives
+#: in :mod:`repro.engine.codegen`'s registry, which is process-global the
+#: same way.)
+_TRACE_CACHE: "OrderedDict[Tuple[str, int, int], Tuple[WorkloadMix, Trace]]" = (
+    OrderedDict()
+)
+
+
+def _cached_trace(mix_name: str, n_instructions: int, seed: int) -> Trace:
+    """LRU-memoized :func:`repro.workloads.generate_trace`."""
+    mix = get_mix(mix_name)
+    key = (mix_name, n_instructions, seed)
+    hit = _TRACE_CACHE.get(key)
+    if hit is not None and hit[0] == mix:
+        _TRACE_CACHE.move_to_end(key)
+        return hit[1]
+    trace = generate_trace(mix_name, n_instructions, seed=seed)
+    _TRACE_CACHE[key] = (mix, trace)
+    if len(_TRACE_CACHE) > TRACE_CACHE_SIZE:
+        _TRACE_CACHE.popitem(last=False)
+    return trace
+
+
+def clear_trace_cache() -> None:
+    """Drop all memoized traces (tests and memory-sensitive embedders)."""
+    _TRACE_CACHE.clear()
 
 
 def default_workers() -> int:
@@ -63,11 +113,12 @@ def execute_point(payload: Dict[str, Any]) -> Tuple[Dict[str, Any], float]:
     t0 = time.perf_counter()
     data = dict(payload)
     mix_definition = data.pop("_mix_definition", None)
+    kernel_variant = data.pop("_kernel_variant", None)
     if mix_definition is not None and mix_definition.name not in MIX_REGISTRY:
         register_mix(mix_definition)
     point = ExperimentPoint.from_dict(data)
-    trace = generate_trace(point.mix, point.n_instructions, seed=point.seed)
-    record = Pipeline(point.config).run_record(trace)
+    trace = _cached_trace(point.mix, point.n_instructions, point.seed)
+    record = Pipeline(point.config, kernel_variant=kernel_variant).run_record(trace)
     record["key"] = point.key()
     record["point"] = point.to_dict()
     return record, time.perf_counter() - t0
@@ -109,13 +160,17 @@ def run_sweep(
     workers: Optional[int] = None,
     force: bool = False,
     log: Optional[Callable[[str], None]] = None,
+    kernel_variant: Optional[str] = None,
 ) -> SweepSummary:
     """Compute every point not already in ``store``; return a summary.
 
     ``force=True`` recomputes cached points (their records are appended
     again; last-wins on reload).  ``workers`` defaults to
     :func:`default_workers`; the pool is skipped entirely when the pending
-    shard is too small to amortise process startup.
+    shard is too small to amortise process startup.  ``kernel_variant``
+    selects the simulation kernel per worker (see
+    :class:`repro.engine.Pipeline`); both variants produce identical
+    records, so the store contents do not depend on it.
     """
     t0 = time.perf_counter()
     n_workers = default_workers() if workers is None else max(1, int(workers))
@@ -141,6 +196,9 @@ def run_sweep(
     timings: Dict[str, float] = {}
     if pending:
         payloads = [_payload_for(point) for _key, point in pending]
+        if kernel_variant is not None:
+            for payload in payloads:
+                payload["_kernel_variant"] = kernel_variant
         use_pool = (
             n_workers > 1
             and len(pending) >= n_workers * MIN_POINTS_PER_WORKER
@@ -169,7 +227,9 @@ def run_sweep(
 
 __all__ = [
     "MIN_POINTS_PER_WORKER",
+    "TRACE_CACHE_SIZE",
     "SweepSummary",
+    "clear_trace_cache",
     "default_workers",
     "execute_point",
     "run_sweep",

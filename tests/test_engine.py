@@ -289,6 +289,33 @@ class TestResultRecord:
         with pytest.raises(ValueError, match="missing keys"):
             KernelResult.from_dict(data)
 
+    def test_kernel_result_from_dict_names_bad_histogram_key(self):
+        from repro.engine import KernelResult
+
+        t = generate_trace("int_heavy", 100, seed=9)
+        data = simulate(t, ProcessorConfig()).to_dict()
+        data["hop_histogram"] = {"not-a-number": 3}
+        with pytest.raises(ValueError, match="'not-a-number'"):
+            KernelResult.from_dict(data)
+        data["hop_histogram"] = {"1": None}
+        with pytest.raises(ValueError, match="None"):
+            KernelResult.from_dict(data)
+
+    def test_kernel_result_empty_histogram_round_trip(self):
+        """A one-cluster CONV machine never communicates: the histogram is
+        empty and must survive the to_dict/from_dict (and JSON) round trip."""
+        import json
+
+        from repro.engine import KernelResult
+
+        t = generate_trace("int_heavy", 500, seed=9)
+        cfg = ProcessorConfig(n_clusters=1, topology=Topology.CONV)
+        result = simulate(t, cfg)
+        assert result.hop_histogram == {}
+        data = result.to_dict()
+        assert KernelResult.from_dict(data) == result
+        assert KernelResult.from_dict(json.loads(json.dumps(data))) == result
+
     def test_pipeline_run_record(self):
         from repro.engine import ENGINE_VERSION, Pipeline
 

@@ -1,0 +1,91 @@
+"""Differential fuzzing across all three kernel implementations.
+
+~50 randomized ``(config, mix, seed)`` points, deliberately biased toward
+the corners the specializer folds differently — non-power-of-two cluster
+counts, ``bus.bandwidth > 1``, ``hop_latency > 1``, ``window_size == 1``,
+zero-FP mixes on FP-less clusters — asserting that the naive
+object-per-instruction oracle, the generic table-driven loop, and the
+per-config compiled specialized kernel agree on **every**
+:class:`KernelResult` field, not just cycles.
+"""
+
+import dataclasses
+import os
+import random
+import sys
+
+import pytest
+
+from repro.common.config import BusConfig, ClusterConfig, ProcessorConfig
+from repro.common.types import Topology
+from repro.engine import KernelResult, simulate, simulate_specialized
+from repro.workloads import generate_trace
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), os.pardir, "bench"))
+
+N_POINTS = 50
+TRACE_LEN = 700
+
+#: Every KernelResult field, derived from the dataclass so a newly added
+#: field is fuzzed automatically (naive reports the same keys, plus ``ipc``).
+FIELDS = tuple(f.name for f in dataclasses.fields(KernelResult))
+
+#: ``int_heavy`` has no FP classes at all, so it must also run on clusters
+#: with zero FP units; the remaining mixes keep the default cluster.
+ZERO_FP_CLUSTER = ClusterConfig(fu_counts=(1, 1, 0, 0))
+
+
+def random_point(rng: random.Random):
+    """One randomized (config, mix, seed) point."""
+    mix = rng.choice(["int_heavy", "fp_heavy", "memory_bound", "branchy"])
+    fetch_width = rng.choice([1, 2, 3, 4, 8])
+    window_size = rng.choice([1, 2, 7, 32, 128, 200])
+    if window_size < fetch_width:
+        window_size = fetch_width
+    if mix == "int_heavy" and rng.random() < 0.4:
+        cluster = ZERO_FP_CLUSTER
+    else:
+        cluster = ClusterConfig(
+            issue_width=rng.choice([1, 2, 4]),
+            fu_counts=rng.choice([(1, 1, 1, 1), (2, 1, 1, 1), (2, 2, 2, 2)]),
+        )
+    cfg = ProcessorConfig(
+        n_clusters=rng.choice([1, 2, 3, 4, 5, 6, 7, 8]),
+        topology=rng.choice([Topology.RING, Topology.CONV]),
+        fetch_width=fetch_width,
+        window_size=window_size,
+        frontend_depth=rng.choice([0, 2, 4]),
+        steering=rng.choice(["dependence", "modulo", "round_robin"]),
+        cluster=cluster,
+        bus=BusConfig(
+            hop_latency=rng.choice([1, 1, 2, 3]),
+            bandwidth=rng.choice([1, 1, 2, 4]),
+            writeback_latency=rng.choice([0, 1, 2]),
+        ),
+    )
+    return cfg, mix, rng.randrange(10_000)
+
+
+def kernel_result_fields(result):
+    return dataclasses.asdict(result)
+
+
+@pytest.mark.parametrize("index", range(N_POINTS))
+def test_three_way_agreement(index):
+    from naive_ref import NaivePipeline
+
+    rng = random.Random(0xA6E11A + index)
+    cfg, mix, seed = random_point(rng)
+    trace = generate_trace(mix, TRACE_LEN, seed=seed)
+
+    naive = NaivePipeline(cfg).run(trace)
+    generic = kernel_result_fields(simulate(trace, cfg))
+    specialized = kernel_result_fields(simulate_specialized(trace, cfg))
+
+    label = f"point {index}: {cfg.describe()} mix={mix} seed={seed}"
+    assert generic == specialized, f"generic vs specialized diverge: {label}"
+    for field in FIELDS:
+        assert naive[field] == generic[field], (
+            f"naive vs kernel diverge on {field!r}: {label}: "
+            f"{naive[field]!r} != {generic[field]!r}"
+        )

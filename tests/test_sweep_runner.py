@@ -146,3 +146,95 @@ class TestRecordContents:
             assert store.get(key)["result"] == record["result"]
         finally:
             MIX_REGISTRY.pop("spawn_test_mix", None)
+
+
+class TestTraceMemoization:
+    """_run-time trace cache: a grid that varies only the config must
+    generate each (mix, n, seed) trace once per worker process."""
+
+    def _count_generations(self, monkeypatch):
+        import repro.sweep.runner as runner_mod
+
+        calls = []
+        real = runner_mod.generate_trace
+
+        def counting(mix, n, seed):
+            calls.append((mix, n, seed))
+            return real(mix, n, seed=seed)
+
+        monkeypatch.setattr(runner_mod, "generate_trace", counting)
+        return calls
+
+    def test_config_only_grid_generates_one_trace(self, tmp_path, monkeypatch):
+        from repro.sweep.runner import clear_trace_cache
+
+        clear_trace_cache()
+        calls = self._count_generations(monkeypatch)
+        spec = small_spec(cluster_counts=(2, 3, 4, 8))  # 8 configs, 1 workload
+        store = ResultStore(str(tmp_path / "store.jsonl"))
+        summary = run_sweep(spec.expand(), store, workers=1)
+        assert summary.n_computed == 8
+        assert len(calls) == 1
+
+    def test_distinct_workloads_each_generated(self, tmp_path, monkeypatch):
+        from repro.sweep.runner import clear_trace_cache
+
+        clear_trace_cache()
+        calls = self._count_generations(monkeypatch)
+        spec = small_spec(seeds=(1, 2, 3))
+        store = ResultStore(str(tmp_path / "store.jsonl"))
+        run_sweep(spec.expand(), store, workers=1)
+        assert len(calls) == 3  # one per seed, shared across the 4 configs
+
+    def test_lru_bound_evicts_oldest(self, monkeypatch):
+        import repro.sweep.runner as runner_mod
+        from repro.sweep.runner import (
+            TRACE_CACHE_SIZE,
+            _cached_trace,
+            clear_trace_cache,
+        )
+
+        clear_trace_cache()
+        calls = self._count_generations(monkeypatch)
+        for seed in range(TRACE_CACHE_SIZE + 1):
+            _cached_trace("int_heavy", 100, seed)
+        assert len(runner_mod._TRACE_CACHE) == TRACE_CACHE_SIZE
+        # Seed 0 was evicted: fetching it again regenerates (and evicts
+        # seed 1, now the oldest entry).
+        n_before = len(calls)
+        _cached_trace("int_heavy", 100, 0)
+        assert len(calls) == n_before + 1
+        # The most recent seed is still resident: no regeneration.
+        _cached_trace("int_heavy", 100, TRACE_CACHE_SIZE)
+        assert len(calls) == n_before + 1
+
+    def test_redefined_mix_busts_the_cache(self, monkeypatch):
+        from repro.common.types import InstrClass
+        from repro.sweep.runner import _cached_trace, clear_trace_cache
+        from repro.workloads import MIX_REGISTRY, WorkloadMix, register_mix
+
+        clear_trace_cache()
+        calls = self._count_generations(monkeypatch)
+        mix = WorkloadMix(
+            name="memo_mix",
+            class_weights={InstrClass.INT_ALU: 0.7, InstrClass.LOAD: 0.3},
+        )
+        register_mix(mix)
+        try:
+            t1 = _cached_trace("memo_mix", 150, 9)
+            assert _cached_trace("memo_mix", 150, 9) is t1
+            assert len(calls) == 1
+            # Same name, different definition: must regenerate.
+            register_mix(
+                WorkloadMix(
+                    name="memo_mix",
+                    class_weights={InstrClass.INT_ALU: 0.2,
+                                   InstrClass.LOAD: 0.8},
+                ),
+                overwrite=True,
+            )
+            t2 = _cached_trace("memo_mix", 150, 9)
+            assert len(calls) == 2
+            assert t2 is not t1
+        finally:
+            MIX_REGISTRY.pop("memo_mix", None)
