@@ -95,9 +95,16 @@ class NaiveCluster:
 
 
 class Interconnect:
-    """Bus arbitration and result-availability rules for both topologies."""
+    """Bus arbitration and result-availability rules for both topologies.
 
-    def __init__(self, cfg: ProcessorConfig, clusters: List[NaiveCluster]) -> None:
+    ``hop_energy_cost`` is the per-hop energy charge (0 when the energy
+    model is off): every hop tallied into the histogram also deposits
+    ``cost * distance`` into ``bus_energy`` — the bus component is charged
+    at the event site, as the energy model specifies.
+    """
+
+    def __init__(self, cfg: ProcessorConfig, clusters: List[NaiveCluster],
+                 hop_energy_cost: int = 0) -> None:
         self.topology = cfg.topology
         self.n_clusters = cfg.n_clusters
         self.hop_latency = cfg.bus.hop_latency
@@ -106,6 +113,8 @@ class Interconnect:
         self.clusters = clusters
         self.communications = 0
         self.hop_histogram: Dict[int, int] = {}
+        self.hop_energy_cost = hop_energy_cost
+        self.bus_energy = 0
 
     def inject(self, cluster: NaiveCluster, cycle: int) -> int:
         busy = cluster.bus_slots
@@ -120,6 +129,7 @@ class Interconnect:
         if self.topology is Topology.RING:
             hops = (consumer_cluster - pc - 1) % self.n_clusters + 1
             self.hop_histogram[hops] = self.hop_histogram.get(hops, 0) + 1
+            self.bus_energy += self.hop_energy_cost * hops
             return producer.grant_cycle + hops * self.hop_latency + self.writeback_latency
         if consumer_cluster == pc:
             return producer.complete_cycle  # intra-cluster bypass
@@ -131,6 +141,7 @@ class Interconnect:
         if self.n_clusters - distance < distance:
             distance = self.n_clusters - distance
         self.hop_histogram[distance] = self.hop_histogram.get(distance, 0) + 1
+        self.bus_energy += self.hop_energy_cost * distance
         return producer.grant_cycle + distance * self.hop_latency + self.writeback_latency
 
 
@@ -223,8 +234,25 @@ class NaivePipeline:
             for klass, lat in latencies.items()
         }
 
+        # Per-event energy accounting (see repro.energy for the model).
+        # Deliberately NOT the shared fold helper: every cost is charged at
+        # its event site so the differential tests check the kernels' folded
+        # accounting against an independent implementation.
+        energy_cfg = cfg.energy if cfg.energy.enabled else None
+        if energy_cfg is not None:
+            fu_energy = {
+                klass: energy_cfg.fu.table()[int(klass)] for klass in InstrClass
+            }
+            e_fetch = e_steer = e_issue = e_operand = e_fu = 0
+            e_cache = e_wakeup = 0
+            retire_cycles: List[int] = []
+            retire_ptr = 0
+
         clusters = [NaiveCluster(c, cfg) for c in range(cfg.n_clusters)]
-        interconnect = Interconnect(cfg, clusters)
+        interconnect = Interconnect(
+            cfg, clusters,
+            hop_energy_cost=energy_cfg.bus_hop if energy_cfg is not None else 0,
+        )
         frontend = Frontend(cfg)
         instructions = self.build_instructions(trace)
 
@@ -242,6 +270,15 @@ class NaivePipeline:
 
         for instr in instructions:
             ready = frontend.fetch(instr)
+            if energy_cfg is not None:
+                e_fetch += energy_cfg.fetch
+                # Wakeup/select energy scales with the reorder-window
+                # occupancy at fetch (this instruction included).
+                fetch_cycle = frontend.fetch_cycle
+                while (retire_ptr < instr.index
+                       and retire_cycles[retire_ptr] <= fetch_cycle):
+                    retire_ptr += 1
+                e_wakeup += energy_cfg.wakeup * (instr.index - retire_ptr + 1)
 
             # Steering.
             if steer == "dependence":
@@ -267,11 +304,15 @@ class NaivePipeline:
                 cluster_idx = instr.index % cfg.n_clusters
             instr.cluster = cluster_idx
             cluster = clusters[cluster_idx]
+            if energy_cfg is not None:
+                e_steer += energy_cfg.steer
 
             # Operand availability.
             for producer in (instr.src1, instr.src2):
                 if producer is None:
                     continue
+                if energy_cfg is not None:
+                    e_operand += energy_cfg.operand_read
                 avail = interconnect.availability(producer, cluster_idx)
                 if avail > ready:
                     ready = avail
@@ -285,10 +326,21 @@ class NaivePipeline:
                 issue = cluster.find_issue_slot(issue)
                 unit.reserve(issue, occupancy[instr.opclass])
                 issued_per_cluster[cluster_idx] += 1
+                if energy_cfg is not None:
+                    e_issue += energy_cfg.issue
             instr.issue_cycle = issue
 
             # Execute.
             latency = latencies[instr.opclass]
+            if energy_cfg is not None:
+                e_fu += fu_energy[instr.opclass]
+                if instr.opclass.is_memory:
+                    if instr.flags & FLAG_L1_MISS:
+                        e_cache += energy_cfg.l1_miss
+                        if instr.flags & FLAG_L2_MISS:
+                            e_cache += energy_cfg.l2_miss
+                    else:
+                        e_cache += energy_cfg.l1_hit
             if instr.flags:
                 if instr.flags & FLAG_MISPREDICT:
                     mispredicts += 1
@@ -304,6 +356,8 @@ class NaivePipeline:
 
             # Writeback / interconnect.
             if instr.produces_value:
+                if energy_cfg is not None:
+                    e_operand += energy_cfg.result_write
                 if is_ring:
                     instr.grant_cycle = interconnect.inject(
                         cluster, instr.complete_cycle
@@ -314,9 +368,24 @@ class NaivePipeline:
                 )
 
             last_retire = frontend.retire(instr, last_retire)
+            if energy_cfg is not None:
+                retire_cycles.append(last_retire)
 
         n = len(instructions)
         cycles = last_retire + 1 if n else 0
+        energy = None
+        if energy_cfg is not None:
+            energy = {
+                "fetch": e_fetch,
+                "steer": e_steer,
+                "issue": e_issue,
+                "operand": e_operand,
+                "fu": e_fu,
+                "bus": interconnect.bus_energy,
+                "cache": e_cache,
+                "wakeup": e_wakeup,
+            }
+            energy["total"] = sum(energy.values())
         return {
             "n_instructions": n,
             "cycles": cycles,
@@ -328,6 +397,7 @@ class NaivePipeline:
             "hop_histogram": dict(sorted(interconnect.hop_histogram.items())),
             "issued_per_cluster": issued_per_cluster,
             "class_counts": class_counts,
+            "energy": energy,
         }
 
 

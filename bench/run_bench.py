@@ -44,7 +44,7 @@ from typing import Dict
 sys.path.insert(0, os.path.join(os.path.dirname(__file__), os.pardir, "src"))
 sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
 
-from repro.common.config import ProcessorConfig
+from repro.common.config import EnergyConfig, ProcessorConfig
 from repro.common.types import Topology
 from repro.engine import KernelResult, get_kernel, simulate
 from repro.sweep import ResultStore, SweepSpec, run_sweep
@@ -99,6 +99,27 @@ def assert_variants_agree(topology: Topology, naive_result, kernel_result) -> No
             )
 
 
+def energy_per_instr(trace, cfg: ProcessorConfig):
+    """Joules-proxy per instruction from BOTH kernel variants.
+
+    Runs the trace through the generic and the specialized kernel with the
+    per-event energy model enabled (default costs), asserts the breakdowns
+    agree to the unit, and returns ``(generic_epi, specialized_epi)``.
+    These runs are untimed: the throughput numbers are measured with the
+    model off, which the emitted-source identity guarantees is free.
+    """
+    cfg_energy = cfg.with_(energy=EnergyConfig(enabled=True))
+    generic_result = simulate(trace, cfg_energy)
+    specialized_result = get_kernel(cfg_energy)(trace)
+    if generic_result.energy != specialized_result.energy:
+        raise AssertionError(
+            f"energy divergence ({cfg.topology.value} x{cfg.n_clusters}): "
+            f"generic={generic_result.energy!r} "
+            f"specialized={specialized_result.energy!r}"
+        )
+    return generic_result.energy_per_instr, specialized_result.energy_per_instr
+
+
 def bench_matrix(trace, args, store_path: str):
     """Drive the ring/conv matrix through the sweep runner, then time it.
 
@@ -148,6 +169,7 @@ def bench_matrix(trace, args, store_path: str):
         )
         speedup = pairwise[0][1]
         worst_spec_speedup = min(worst_spec_speedup, speedup)
+        generic_epi, specialized_epi = energy_per_instr(trace, cfg)
         topo_key = cfg.topology.value
         out.setdefault(topo_key, {})[str(cfg.n_clusters)] = {
             "instructions": n,
@@ -158,12 +180,14 @@ def bench_matrix(trace, args, store_path: str):
             "specialized_seconds": round(specialized_s, 4),
             "specialized_instr_per_sec": round(n / specialized_s),
             "specialized_speedup": round(speedup, 2),
+            "generic_energy_per_instr": round(generic_epi, 4),
+            "specialized_energy_per_instr": round(specialized_epi, 4),
         }
         print(
             f"  kern {topo_key:4s} x{cfg.n_clusters}: ipc={ipc:6.3f}  "
             f"generic {n / generic_s / 1e3:7.0f} kinstr/s  "
             f"specialized {n / specialized_s / 1e3:7.0f} kinstr/s  "
-            f"-> {speedup:.2f}x"
+            f"-> {speedup:.2f}x  epi={specialized_epi:.2f}"
         )
     sweep_meta = {
         "store": store_path,
@@ -191,6 +215,19 @@ def bench_naive_comparison(trace, repeats: int, n_clusters: int = 4):
                 f"specialized KernelResult totals differ"
             )
         assert_variants_agree(topology, naive_result, generic_result)
+        # Energy model on: all three models must agree on the breakdown too
+        # (the naive oracle charges every cost at its event site).
+        cfg_energy = cfg.with_(energy=EnergyConfig(enabled=True))
+        naive_energy = NaivePipeline(cfg_energy).run(trace)
+        generic_energy = simulate(trace, cfg_energy)
+        specialized_energy = get_kernel(cfg_energy)(trace)
+        if generic_energy != specialized_energy:
+            raise AssertionError(
+                f"kernel-variant divergence ({topology.value}): energy-model "
+                f"KernelResult totals differ"
+            )
+        assert_variants_agree(topology, naive_energy, generic_energy)
+        epi = generic_energy.energy_per_instr
         (naive_s, generic_s, specialized_s), pairwise = time_variants(
             [
                 lambda: naive.run(trace),
@@ -210,6 +247,7 @@ def bench_naive_comparison(trace, repeats: int, n_clusters: int = 4):
             "specialized_instr_per_sec": round(n / specialized_s),
             "speedup": round(speedup, 2),
             "specialized_vs_naive_speedup": round(spec_vs_naive, 2),
+            "energy_per_instr": round(epi, 4),
         }
         print(
             f"  ref  {topology.value:4s} x{n_clusters}: "

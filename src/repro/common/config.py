@@ -22,11 +22,18 @@ from typing import Any, Dict, List, Mapping, Optional, Tuple, Type, TypeVar
 from repro.common.errors import ConfigurationError
 from repro.common.jsonutil import content_digest
 from repro.common.types import FuType, InstrClass, Topology
+from repro.energy import EnergyConfig
 
 #: Steering policies understood by the pipeline kernel.
 STEERING_POLICIES = ("dependence", "modulo", "round_robin")
 
 _T = TypeVar("_T")
+
+#: Shared default-equality probe for :meth:`ProcessorConfig.to_dict` — a
+#: module-level constant so the hot serialization path (config digests,
+#: sweep-point keys) does not rebuild and re-validate an EnergyConfig per
+#: call.
+_DEFAULT_ENERGY = EnergyConfig()
 
 
 def _require(condition: bool, message: str) -> None:
@@ -281,6 +288,7 @@ class ProcessorConfig:
     bus: BusConfig = field(default_factory=BusConfig)
     branch: BranchPredictorConfig = field(default_factory=BranchPredictorConfig)
     memory: MemoryHierarchyConfig = field(default_factory=MemoryHierarchyConfig)
+    energy: EnergyConfig = field(default_factory=EnergyConfig)
 
     def __post_init__(self) -> None:
         _positive("ProcessorConfig.n_clusters", self.n_clusters)
@@ -307,8 +315,17 @@ class ProcessorConfig:
 
     def to_dict(self) -> Dict[str, Any]:
         """Full nested, JSON-serializable description; exact inverse of
-        :meth:`from_dict` (``from_dict(cfg.to_dict()) == cfg``)."""
-        return {
+        :meth:`from_dict` (``from_dict(cfg.to_dict()) == cfg``).
+
+        The ``energy`` block is omitted while it equals the all-default
+        (disabled) :class:`~repro.energy.EnergyConfig`: a disabled energy
+        model cannot influence any simulation result, so serialized configs
+        — and therefore :meth:`config_digest` and every sweep-store cache
+        key derived from it — are byte-identical to what they were before
+        the energy model existed.  Enabling (or otherwise customising) the
+        model serializes it and deliberately changes the digest.
+        """
+        out = {
             "n_clusters": self.n_clusters,
             "topology": self.topology.value,
             "fetch_width": self.fetch_width,
@@ -321,6 +338,9 @@ class ProcessorConfig:
             "branch": self.branch.to_dict(),
             "memory": self.memory.to_dict(),
         }
+        if self.energy != _DEFAULT_ENERGY:
+            out["energy"] = self.energy.to_dict()
+        return out
 
     @classmethod
     def from_dict(cls, data: Mapping[str, Any]) -> "ProcessorConfig":
@@ -346,6 +366,7 @@ class ProcessorConfig:
             "bus": BusConfig,
             "branch": BranchPredictorConfig,
             "memory": MemoryHierarchyConfig,
+            "energy": EnergyConfig,
         }
         for name, sub_cls in nested.items():
             if name in kwargs and not isinstance(kwargs[name], sub_cls):
@@ -363,8 +384,14 @@ class ProcessorConfig:
         return content_digest(self.to_dict(), 16)
 
     def describe(self) -> Dict[str, object]:
-        """A flat, JSON-friendly summary used by benchmark/report output."""
-        return {
+        """A flat, JSON-friendly summary used by benchmark/report output.
+
+        The ``energy`` marker appears only when the model is enabled:
+        ``describe()`` is embedded verbatim in the header comment of every
+        codegen-emitted kernel, and an energy-off config must emit source
+        byte-identical to a build without the energy model.
+        """
+        out: Dict[str, object] = {
             "n_clusters": self.n_clusters,
             "topology": self.topology.value,
             "fetch_width": self.fetch_width,
@@ -376,6 +403,9 @@ class ProcessorConfig:
             "mispredict_penalty": self.branch.mispredict_penalty,
             "l1d_miss_penalty": self.memory.l1d.miss_penalty,
         }
+        if self.energy.enabled:
+            out["energy"] = True
+        return out
 
 
 __all__ = [
@@ -384,6 +414,7 @@ __all__ = [
     "BusConfig",
     "CacheConfig",
     "ClusterConfig",
+    "EnergyConfig",
     "FuLatencies",
     "MemoryHierarchyConfig",
     "ProcessorConfig",

@@ -1,0 +1,267 @@
+"""Per-event energy accounting model.
+
+The paper's argument for the ring-clustered organisation is not raw IPC —
+it is that a ring of narrow clusters trades a little IPC for much less
+*energy and complexity* than a monolithic wide core.  This module supplies
+the missing half of that comparison: a per-event energy model whose costs
+are charged *as the simulation kernels process each dynamic instruction*,
+not re-derived by a second pass over the trace.
+
+Model
+-----
+
+Every micro-architectural event carries a configurable integer cost (an
+abstract energy unit — a joules proxy, not calibrated picojoules):
+
+* ``fetch`` / ``steer`` — once per dynamic instruction (NOPs included: they
+  flow through the front end and the steering logic like anything else);
+* ``issue`` — once per instruction that occupies an issue slot (NOPs do
+  not issue, matching the kernels' issue stage);
+* ``operand_read`` — once per *present* source operand;
+  ``result_write`` — once per produced register value;
+* ``fu`` — per executed operation, by instruction class
+  (:class:`FuEnergy`, the energy analogue of Table 2's latency table);
+* ``bus_hop`` — per hop of inter-cluster distance each operand transfer
+  covers, i.e. the energy-weighted form of the hop histogram (under RING
+  every operand read travels the ring; under CONV only remote reads pay);
+* ``l1_hit`` / ``l1_miss`` / ``l2_miss`` — per data-cache outcome of a
+  memory-class instruction;
+* ``wakeup`` — per instruction, **scaled by the reorder-window occupancy**
+  at the moment it is fetched (CAM-style wakeup/select grows with the
+  number of waiting entries).  Occupancy counts the instructions fetched
+  but not yet retired at the new instruction's fetch cycle, the new
+  instruction included, so it is always in ``[1, window_size]``.
+
+The occupancy term is what forces the accounting into the hot loop: every
+other component folds over counters the kernels already maintain
+incrementally (class tallies, hop counts, miss totals), but occupancy is a
+property of the in-flight set at each fetch event and is tracked with a
+retire-cycle column and a monotone retire pointer inside all three kernels
+(generic loop, codegen-specialized variants, naive oracle).
+
+All costs are integers, so all three kernel implementations must agree on
+every breakdown component to the exact unit — the differential fuzz suite
+enforces this the same way it pins cycle counts.
+
+``EnergyConfig.enabled`` defaults to ``False``; a disabled model is
+guaranteed free: the specializer emits byte-identical kernel source, the
+generic loop pays one dead branch per instruction, results serialize
+without an ``energy`` key, and ``ProcessorConfig.config_digest()`` is
+unchanged — existing sweep stores keep hitting.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Mapping
+
+from repro.common.errors import ConfigurationError
+from repro.common.types import (
+    DEST_REGCLASS_FOR_CLASS,
+    InstrClass,
+    MEM_CLASSES,
+)
+
+#: Breakdown keys, in reporting order; ``total`` is appended last and always
+#: equals the sum of these components.
+ENERGY_COMPONENTS = (
+    "fetch",
+    "steer",
+    "issue",
+    "operand",
+    "fu",
+    "bus",
+    "cache",
+    "wakeup",
+)
+
+_N_CLASSES = len(InstrClass)
+
+#: Classes that produce a register value / access the data cache, as flat
+#: index lists for the fold below (and for the codegen literal folds).
+DST_CLASS_INDICES = tuple(
+    int(k) for k in InstrClass if DEST_REGCLASS_FOR_CLASS[k] is not None
+)
+MEM_CLASS_INDICES = tuple(int(k) for k in InstrClass if k in MEM_CLASSES)
+
+
+def _cost(name: str, value: int) -> None:
+    if isinstance(value, bool) or not isinstance(value, int) or value < 0:
+        raise ConfigurationError(
+            f"{name} must be a non-negative integer energy cost, got {value!r}"
+        )
+
+
+@dataclass(frozen=True)
+class FuEnergy:
+    """Per-operation energy by instruction class (energy Table 2 analogue).
+
+    ``load``/``store`` cover the datapath side of memory operations only;
+    the cache outcome itself is charged separately via the
+    ``l1_hit``/``l1_miss``/``l2_miss`` costs of :class:`EnergyConfig`.
+    NOPs execute nothing and always cost zero.
+    """
+
+    int_alu: int = 1
+    int_mul: int = 3
+    int_div: int = 8
+    fp_add: int = 2
+    fp_mul: int = 4
+    fp_div: int = 10
+    load: int = 2
+    store: int = 2
+    branch: int = 1
+
+    def __post_init__(self) -> None:
+        for f in dataclasses.fields(self):
+            _cost(f"FuEnergy.{f.name}", getattr(self, f.name))
+
+    def table(self) -> List[int]:
+        """Flat cost table indexed by ``int(InstrClass)`` for the hot loop."""
+        t = [0] * _N_CLASSES
+        t[InstrClass.INT_ALU] = self.int_alu
+        t[InstrClass.INT_MUL] = self.int_mul
+        t[InstrClass.INT_DIV] = self.int_div
+        t[InstrClass.FP_ADD] = self.fp_add
+        t[InstrClass.FP_MUL] = self.fp_mul
+        t[InstrClass.FP_DIV] = self.fp_div
+        t[InstrClass.LOAD] = self.load
+        t[InstrClass.FP_LOAD] = self.load
+        t[InstrClass.STORE] = self.store
+        t[InstrClass.FP_STORE] = self.store
+        t[InstrClass.BRANCH] = self.branch
+        t[InstrClass.NOP] = 0
+        return t
+
+    def to_dict(self) -> Dict[str, int]:
+        return {f.name: getattr(self, f.name) for f in dataclasses.fields(self)}
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "FuEnergy":
+        if not isinstance(data, Mapping):
+            raise ConfigurationError(
+                f"FuEnergy.from_dict expects a mapping, got {type(data).__name__}"
+            )
+        allowed = {f.name for f in dataclasses.fields(cls)}
+        unknown = sorted(set(data) - allowed)
+        if unknown:
+            raise ConfigurationError(
+                f"FuEnergy.from_dict: unknown key(s) {unknown}; "
+                f"valid keys: {sorted(allowed)}"
+            )
+        return cls(**dict(data))
+
+
+@dataclass(frozen=True)
+class EnergyConfig:
+    """Per-event energy costs; disabled (and therefore free) by default."""
+
+    enabled: bool = False
+    fetch: int = 1
+    steer: int = 1
+    issue: int = 2
+    operand_read: int = 1
+    result_write: int = 1
+    bus_hop: int = 2
+    l1_hit: int = 1
+    l1_miss: int = 5
+    l2_miss: int = 20
+    wakeup: int = 1
+    fu: FuEnergy = field(default_factory=FuEnergy)
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.enabled, bool):
+            raise ConfigurationError(
+                f"EnergyConfig.enabled must be a bool, got {self.enabled!r}"
+            )
+        for f in dataclasses.fields(self):
+            if f.name in ("enabled", "fu"):
+                continue
+            _cost(f"EnergyConfig.{f.name}", getattr(self, f.name))
+        if not isinstance(self.fu, FuEnergy):
+            raise ConfigurationError(
+                f"EnergyConfig.fu must be a FuEnergy, got {self.fu!r}"
+            )
+
+    def to_dict(self) -> Dict[str, Any]:
+        out: Dict[str, Any] = {
+            f.name: getattr(self, f.name)
+            for f in dataclasses.fields(self)
+            if f.name != "fu"
+        }
+        out["fu"] = self.fu.to_dict()
+        return out
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "EnergyConfig":
+        if not isinstance(data, Mapping):
+            raise ConfigurationError(
+                f"EnergyConfig.from_dict expects a mapping, got {type(data).__name__}"
+            )
+        allowed = {f.name for f in dataclasses.fields(cls)}
+        unknown = sorted(set(data) - allowed)
+        if unknown:
+            raise ConfigurationError(
+                f"EnergyConfig.from_dict: unknown key(s) {unknown}; "
+                f"valid keys: {sorted(allowed)}"
+            )
+        kwargs = dict(data)
+        if "fu" in kwargs and not isinstance(kwargs["fu"], FuEnergy):
+            kwargs["fu"] = FuEnergy.from_dict(kwargs["fu"])
+        return cls(**kwargs)
+
+
+def fold_breakdown(
+    energy: EnergyConfig,
+    n: int,
+    class_counts: List[int],
+    operand_reads: int,
+    weighted_hops: int,
+    l1_misses: int,
+    l2_misses: int,
+    wakeup_units: int,
+) -> Dict[str, int]:
+    """Assemble the energy breakdown from a kernel's incremental counters.
+
+    Every argument is a counter the hot loop maintained while it ran:
+    ``class_counts`` the per-class tally, ``operand_reads`` the number of
+    present source operands, ``weighted_hops`` the distance-weighted sum of
+    hop-histogram tallies (``sum(d * count)``), ``wakeup_units`` the sum of
+    reorder-window occupancies at each fetch event.  The returned dict maps
+    every :data:`ENERGY_COMPONENTS` entry plus ``"total"`` to integer
+    energy units; ``total`` is the exact sum of the components.
+
+    The naive oracle in ``bench/naive_ref.py`` deliberately does *not* use
+    this helper — it charges every cost at its event site — so the
+    differential tests check the fold against an independent accounting.
+    """
+    fu_table = energy.fu.table()
+    n_issued = n - class_counts[InstrClass.NOP]
+    writes = sum(class_counts[k] for k in DST_CLASS_INDICES)
+    accesses = sum(class_counts[k] for k in MEM_CLASS_INDICES)
+    breakdown = {
+        "fetch": energy.fetch * n,
+        "steer": energy.steer * n,
+        "issue": energy.issue * n_issued,
+        "operand": energy.operand_read * operand_reads
+        + energy.result_write * writes,
+        "fu": sum(fu_table[k] * class_counts[k] for k in range(_N_CLASSES)),
+        "bus": energy.bus_hop * weighted_hops,
+        "cache": energy.l1_hit * (accesses - l1_misses)
+        + energy.l1_miss * l1_misses
+        + energy.l2_miss * l2_misses,
+        "wakeup": energy.wakeup * wakeup_units,
+    }
+    breakdown["total"] = sum(breakdown[c] for c in ENERGY_COMPONENTS)
+    return breakdown
+
+
+__all__ = [
+    "DST_CLASS_INDICES",
+    "ENERGY_COMPONENTS",
+    "EnergyConfig",
+    "FuEnergy",
+    "MEM_CLASS_INDICES",
+    "fold_breakdown",
+]

@@ -62,6 +62,7 @@ import numpy as np
 from repro.common.config import ProcessorConfig
 from repro.common.jsonutil import content_digest
 from repro.common.types import Topology
+from repro.energy import DST_CLASS_INDICES, MEM_CLASS_INDICES
 from repro.engine.kernel import (
     KernelResult,
     STAGES,
@@ -95,7 +96,7 @@ _REGISTRY: Dict[str, Callable[[Trace], KernelResult]] = {}
 def _spec_values(cfg: ProcessorConfig) -> Dict[str, object]:
     """Everything the template folds in, as a JSON-canonicalisable dict."""
     latency, occupancy, fu_for, has_dst = build_tables(cfg)
-    return {
+    values: Dict[str, object] = {
         "n_clusters": cfg.n_clusters,
         "topology": cfg.topology.value,
         "steering": cfg.steering,
@@ -117,6 +118,27 @@ def _spec_values(cfg: ProcessorConfig) -> Dict[str, object]:
         "fu_for": list(fu_for),
         "has_dst": [int(b) for b in has_dst],
     }
+    if cfg.energy.enabled:
+        # Every energy cost is a literal in the emitted source, so the whole
+        # cost vector belongs in the key.  A disabled model adds NO key at
+        # all: the emitted source — and the registry entry — is then
+        # byte-identical to a build without the energy model, which is what
+        # guarantees ``energy=off`` costs nothing.
+        en = cfg.energy
+        values["energy"] = {
+            "fetch": en.fetch,
+            "steer": en.steer,
+            "issue": en.issue,
+            "operand_read": en.operand_read,
+            "result_write": en.result_write,
+            "bus_hop": en.bus_hop,
+            "l1_hit": en.l1_hit,
+            "l1_miss": en.l1_miss,
+            "l2_miss": en.l2_miss,
+            "wakeup": en.wakeup,
+            "fu": en.fu.table(),
+        }
+    return values
 
 
 def specialization_key(cfg: ProcessorConfig) -> str:
@@ -430,10 +452,18 @@ def _emit_body(e: _Emitter, v: Dict[str, object], ind: int,
             e.emit("if slot_free > ftoken:", ind)
             e.emit("ftoken = slot_free", ind + 1)
     # In the prologue i < window_size, so the ROB can never stall fetch.
+    track_energy = "energy" in v
     if not ftoken:
         e.emit("fetched_this_cycle += 1", ind)
         e.emit(f"ready = fetch_cycle + {depth}"
                if depth else "ready = fetch_cycle", ind)
+    elif track_energy:
+        # The energy block at the end of the body needs the *unshifted*
+        # fetch cycle; ``ready`` is clobbered by the operand stage and the
+        # token has already advanced by then, so capture it here.
+        e.emit(f"fc = ftoken >> {shift}", ind)
+        e.emit(f"ready = fc + {depth}" if depth else "ready = fc", ind)
+        e.emit("ftoken += 1", ind)
     else:
         e.emit(f"ready = (ftoken >> {shift}) + {depth}"
                if depth else f"ready = ftoken >> {shift}", ind)
@@ -568,6 +598,19 @@ def _emit_body(e: _Emitter, v: Dict[str, object], ind: int,
         e.emit(f"if rob_idx == {window}:", ind)
         e.emit("rob_idx = 0", ind + 1)
 
+    if track_energy:
+        # Per-event energy state the aggregate counters cannot reconstruct:
+        # reorder-window occupancy at this instruction's fetch cycle (see
+        # repro.energy).  retire_col is a running max, so the pointer only
+        # ever moves forward; `fc` is the unshifted fetch cycle captured in
+        # the fetch stage.  All other components fold over loop-maintained
+        # counters in the epilogue, with the costs as literals.
+        fc_name = "fc" if ftoken else "fetch_cycle"
+        e.emit(f"while rp < i and retire_col[rp] <= {fc_name}:", ind)
+        e.emit("rp += 1", ind + 1)
+        e.emit("wakeup_units += i - rp + 1", ind)
+        e.emit("retire_col[i] = last_retire", ind)
+
 
 def emit_kernel_source(cfg: ProcessorConfig) -> str:
     """Return the Python source of the specialized kernel for ``cfg``.
@@ -651,6 +694,18 @@ def emit_kernel_source(cfg: ProcessorConfig) -> str:
         e.emit("bus_slots = {}  # lazy CONV grants probe old cycles: dict", 1)
         if bw > 1:
             e.emit("bslots_get = bus_slots.get", 1)
+    en = v.get("energy")
+    if en:
+        # Energy model: the present-source-operand count is exact from the
+        # immutable trace columns, so it is vectorized with the rest of the
+        # pre-pass; occupancy tracking state rides in the loop.
+        e.emit("s1v = _np.frombuffer(trace.src1, dtype=_np.int64)", 1)
+        e.emit("s2v = _np.frombuffer(trace.src2, dtype=_np.int64)", 1)
+        e.emit("operand_reads = int((s1v >= 0).sum()) + int((s2v >= 0).sum())",
+               1)
+        e.emit("retire_col = [0] * n", 1)
+        e.emit("rp = 0", 1)
+        e.emit("wakeup_units = 0", 1)
     e.emit(f"rob = [0] * {window}", 1)
     e.emit(f"issued_per_cluster = [0] * {nc}", 1)
     e.emit(f"hop_counts = [0] * {nc + 1}", 1)
@@ -732,6 +787,38 @@ def emit_kernel_source(cfg: ProcessorConfig) -> str:
             f"class_counts[{k}]" for k, d in enumerate(dst_t) if d
         )
         e.emit(f"communications = {dst_terms}", 1)
+    if en:
+        # Fold the breakdown from the loop-maintained counters with every
+        # cost constant-folded in as a literal (mirrors repro.energy.
+        # fold_breakdown; the differential fuzz tests pin the agreement).
+        fu_costs: List[int] = en["fu"]  # type: ignore[assignment]
+        fu_terms = " + ".join(
+            f"{cost} * class_counts[{k}]"
+            for k, cost in enumerate(fu_costs) if cost
+        ) or "0"
+        write_terms = " + ".join(
+            f"class_counts[{k}]" for k in DST_CLASS_INDICES
+        )
+        mem_terms = " + ".join(
+            f"class_counts[{k}]" for k in MEM_CLASS_INDICES
+        )
+        e.emit("weighted_hops = 0", 1)
+        e.emit(f"for _d in range(1, {nc + 1}):", 1)
+        e.emit("weighted_hops += _d * hop_counts[_d]", 2)
+        e.emit("energy = {", 1)
+        e.emit(f"\"fetch\": {en['fetch']} * n,", 2)
+        e.emit(f"\"steer\": {en['steer']} * n,", 2)
+        e.emit(f"\"issue\": {en['issue']} * (n - class_counts[{_NOP}]),", 2)
+        e.emit(f"\"operand\": {en['operand_read']} * operand_reads"
+               f" + {en['result_write']} * ({write_terms}),", 2)
+        e.emit(f"\"fu\": {fu_terms},", 2)
+        e.emit(f"\"bus\": {en['bus_hop']} * weighted_hops,", 2)
+        e.emit(f"\"cache\": {en['l1_hit']} * ({mem_terms} - l1_misses)"
+               f" + {en['l1_miss']} * l1_misses"
+               f" + {en['l2_miss']} * l2_misses,", 2)
+        e.emit(f"\"wakeup\": {en['wakeup']} * wakeup_units,", 2)
+        e.emit("}", 1)
+        e.emit("energy[\"total\"] = sum(energy.values())", 1)
     e.emit("hop_histogram = {d: c for d, c in enumerate(hop_counts) if c}", 1)
     e.emit("return _KernelResult(", 1)
     e.emit("n_instructions=n,", 2)
@@ -743,6 +830,8 @@ def emit_kernel_source(cfg: ProcessorConfig) -> str:
     e.emit("hop_histogram=hop_histogram,", 2)
     e.emit("issued_per_cluster=issued_per_cluster,", 2)
     e.emit("class_counts=class_counts,", 2)
+    if en:
+        e.emit("energy=energy,", 2)
     e.emit(")", 1)
 
     for emitted in body_stages:

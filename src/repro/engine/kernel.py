@@ -33,10 +33,11 @@ from __future__ import annotations
 import dataclasses
 from collections import Counter as _TallyCounter
 from dataclasses import dataclass, field
-from typing import Dict, List
+from typing import Dict, List, Optional
 
 from repro.common.config import ProcessorConfig
 from repro.common.errors import ConfigurationError
+from repro.energy import ENERGY_COMPONENTS, fold_breakdown
 from repro.common.types import (
     DEST_REGCLASS_FOR_CLASS,
     FU_FOR_CLASS,
@@ -91,7 +92,15 @@ _N_FU = 4  # FuType cardinality; fu_free is indexed cluster * _N_FU + futype
 
 @dataclass
 class KernelResult:
-    """Raw totals produced by one :func:`simulate` call."""
+    """Raw totals produced by one :func:`simulate` call.
+
+    ``energy`` is the per-component energy breakdown (every
+    :data:`repro.energy.ENERGY_COMPONENTS` key plus ``"total"``, all
+    integer units) when the config's energy model is enabled, and ``None``
+    otherwise.  A ``None`` breakdown serializes to *no* ``energy`` key at
+    all, so results computed with the model off are byte-identical to
+    results from before the model existed.
+    """
 
     n_instructions: int
     cycles: int
@@ -102,19 +111,27 @@ class KernelResult:
     hop_histogram: Dict[int, int]
     issued_per_cluster: List[int]
     class_counts: List[int]
+    energy: Optional[Dict[str, int]] = None
 
     @property
     def ipc(self) -> float:
         return self.n_instructions / self.cycles if self.cycles else 0.0
+
+    @property
+    def energy_per_instr(self) -> float:
+        """Total energy units per instruction (0.0 when the model is off)."""
+        if self.energy is None or not self.n_instructions:
+            return 0.0
+        return self.energy["total"] / self.n_instructions
 
     def to_dict(self) -> Dict[str, object]:
         """JSON-serializable raw totals (derived values like IPC excluded).
 
         ``hop_histogram`` keys become strings (JSON objects only have string
         keys); :meth:`from_dict` converts them back, so the round trip is
-        exact.
+        exact.  The ``energy`` key is present iff the breakdown is.
         """
-        return {
+        out = {
             "n_instructions": self.n_instructions,
             "cycles": self.cycles,
             "mispredicts": self.mispredicts,
@@ -125,17 +142,42 @@ class KernelResult:
             "issued_per_cluster": list(self.issued_per_cluster),
             "class_counts": list(self.class_counts),
         }
+        if self.energy is not None:
+            out["energy"] = dict(self.energy)
+        return out
 
     @classmethod
     def from_dict(cls, data: Dict[str, object]) -> "KernelResult":
         expected = {f.name for f in dataclasses.fields(cls)}
         unknown = sorted(set(data) - expected)
-        missing = sorted(expected - set(data))
+        # ``energy`` is optional on the wire: records written with the
+        # model disabled (or before it existed) simply lack the key.
+        missing = sorted(expected - set(data) - {"energy"})
         if unknown or missing:
             raise ValueError(
                 f"KernelResult.from_dict: unknown keys {unknown}, missing keys {missing}"
             )
         kwargs = dict(data)
+        if kwargs.get("energy") is not None:
+            energy: Dict[str, int] = {}
+            for comp, units in kwargs["energy"].items():  # type: ignore[union-attr]
+                try:
+                    energy[str(comp)] = int(units)
+                except (TypeError, ValueError) as exc:
+                    raise ValueError(
+                        f"KernelResult.from_dict: energy entry {comp!r}: "
+                        f"{units!r} is not coercible to int units"
+                    ) from exc
+            expected_comps = set(ENERGY_COMPONENTS) | {"total"}
+            missing_comps = sorted(expected_comps - set(energy))
+            unknown_comps = sorted(set(energy) - expected_comps)
+            if missing_comps or unknown_comps:
+                raise ValueError(
+                    f"KernelResult.from_dict: energy breakdown has unknown "
+                    f"component(s) {unknown_comps}, missing component(s) "
+                    f"{missing_comps}"
+                )
+            kwargs["energy"] = energy
         hop_histogram: Dict[int, int] = {}
         for d, c in kwargs["hop_histogram"].items():  # type: ignore[union-attr]
             try:
@@ -216,6 +258,16 @@ def simulate(trace: Trace, cfg: ProcessorConfig) -> KernelResult:
 
     fu_counts = cfg.cluster.fu_counts
     class_counts = preflight_class_counts(trace.name, opclass, fu_counts, fu_for)
+    # Energy accounting state.  When the model is off the loop pays exactly
+    # one dead ``if track_energy`` branch per instruction; when on, the only
+    # per-event state the aggregate counters cannot reconstruct is the
+    # reorder-window occupancy at each fetch (see repro.energy), tracked via
+    # a retire-cycle column and a monotone retire pointer.
+    track_energy = cfg.energy.enabled
+    retire_col: List[int] = [0] * n if track_energy else []
+    retire_ptr = 0
+    wakeup_units = 0
+    operand_reads = 0
     # fu_free[c * _N_FU + t] -> list of next-free cycles, one entry per unit.
     fu_free: List[List[int]] = [
         [0] * fu_counts[t] for _c in range(n_clusters) for t in range(_N_FU)
@@ -441,6 +493,32 @@ def simulate(trace: Trace, cfg: ProcessorConfig) -> KernelResult:
         if rob_idx == window_size:
             rob_idx = 0
 
+        # ---- energy (per-event counters; see repro.energy) --------------
+        if track_energy:
+            operand_reads += (s1 >= 0) + (s2 >= 0)
+            # Occupancy at this instruction's fetch: instructions fetched
+            # but not retired by fetch_cycle, itself included.  retire_col
+            # is monotone (a running max), so the pointer never backs up.
+            while retire_ptr < i and retire_col[retire_ptr] <= fetch_cycle:
+                retire_ptr += 1
+            wakeup_units += i - retire_ptr + 1
+            retire_col[i] = last_retire
+
+    energy = None
+    if track_energy:
+        weighted_hops = 0
+        for d in range(1, nc + 1):
+            weighted_hops += d * hop_counts[d]
+        energy = fold_breakdown(
+            cfg.energy,
+            n=n,
+            class_counts=class_counts,
+            operand_reads=operand_reads,
+            weighted_hops=weighted_hops,
+            l1_misses=l1_misses,
+            l2_misses=l2_misses,
+            wakeup_units=wakeup_units,
+        )
     hop_histogram = {d: c for d, c in enumerate(hop_counts) if c}
     return KernelResult(
         n_instructions=n,
@@ -452,6 +530,7 @@ def simulate(trace: Trace, cfg: ProcessorConfig) -> KernelResult:
         hop_histogram=hop_histogram,
         issued_per_cluster=issued_per_cluster,
         class_counts=class_counts,
+        energy=energy,
     )
 
 

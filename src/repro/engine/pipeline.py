@@ -84,12 +84,20 @@ class Pipeline:
         carries the raw :meth:`KernelResult.to_dict` totals plus the engine
         version and the config digest so a result store can key and later
         invalidate it.  Consumed by :mod:`repro.sweep`.
+
+        ``kernel_variant`` names the kernel that computed the record, so a
+        result in hand can be attributed to a variant (e.g. when triaging a
+        suspected codegen divergence).  It is *provenance, not content*:
+        both variants produce identical results by contract, and the sweep
+        runner strips the key before a record enters the result store so
+        stores stay byte-identical whichever variant computed them.
         """
         result = self._simulate_checked(trace)
         return {
             "engine_version": ENGINE_VERSION,
             "config_digest": self.config.config_digest(),
             "trace": trace.name,
+            "kernel_variant": self.kernel_variant,
             "result": result.to_dict(),
         }
 
@@ -120,6 +128,10 @@ class Pipeline:
         for k, count in enumerate(result.class_counts):
             if count:
                 stats.counter(f"class.{InstrClass(k).name.lower()}").add(count)
+        if result.energy is not None:
+            for component, units in result.energy.items():
+                stats.counter(f"energy.{component}").add(units)
+            stats.set_scalar("energy.per_instr", result.energy_per_instr)
         stats.set_scalar("ipc", result.ipc)
         if result.n_instructions:
             stats.set_scalar(

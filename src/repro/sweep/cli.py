@@ -14,6 +14,7 @@ any spec against the same store only computes missing points.
 from __future__ import annotations
 
 import argparse
+import dataclasses
 import json
 import sys
 from typing import List, Optional
@@ -45,6 +46,12 @@ def _load_spec(args: argparse.Namespace) -> SweepSpec:
 
 def _cmd_run(args: argparse.Namespace) -> int:
     spec = _load_spec(args)
+    if args.energy:
+        # Enable the per-event energy model (default costs) on every point.
+        # Appended last so it wins over any energy.* entry a JSON spec set.
+        spec = dataclasses.replace(
+            spec, base=tuple(spec.base) + (("energy.enabled", True),)
+        )
     points = spec.expand()
     store = ResultStore(args.store)
     if store.recovered_bytes:
@@ -69,9 +76,9 @@ def _cmd_report(args: argparse.Namespace) -> int:
         return 1
     tables = build_tables(load_rows(store))
     paths = write_report(store, args.out, tables=tables)
-    # The headline table goes to stdout; the files carry the rest.
+    # The headline tables go to stdout; the files carry the rest.
     for table in tables:
-        if table.slug == "ring_vs_conv":
+        if table.slug in ("ring_vs_conv", "epi_vs_clusters"):
             print(table.to_markdown())
             print()
     for name in sorted(paths):
@@ -120,6 +127,10 @@ def build_parser() -> argparse.ArgumentParser:
                        help=f"worker processes (default {default_workers()})")
     run_p.add_argument("--force", action="store_true",
                        help="recompute cached points")
+    run_p.add_argument("--energy", action="store_true",
+                       help="enable the per-event energy model (default "
+                            "costs) on every point; energy-enabled points "
+                            "have their own cache keys")
     run_p.add_argument("--verbose", action="store_true",
                        help="log every computed point")
     run_p.set_defaults(func=_cmd_run)

@@ -23,6 +23,7 @@ from repro.common.config import STEERING_POLICIES, ProcessorConfig
 from repro.common.errors import ConfigurationError
 from repro.common.jsonutil import canonical_json, content_digest
 from repro.common.types import Topology
+from repro.energy import EnergyConfig
 from repro.engine.kernel import ENGINE_VERSION
 from repro.workloads import get_mix
 
@@ -224,6 +225,12 @@ class SweepSpec:
     def expand(self) -> List[ExperimentPoint]:
         """Materialise the grid, in deterministic (declaration) order."""
         base_tree = ProcessorConfig().to_dict()
+        # ``to_dict`` omits an all-default energy block (the digest-stability
+        # rule), but dotted override paths like ``energy.enabled`` can only
+        # address existing keys — seed the defaults so energy sweeps work.
+        # Points that leave the block at its defaults serialize without it,
+        # so non-energy grids keep their pre-energy content-hash keys.
+        base_tree.setdefault("energy", EnergyConfig().to_dict())
         for path, value in self.base:
             _set_path(base_tree, path, value)
         override_paths = [path for path, _values in self.overrides]

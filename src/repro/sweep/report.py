@@ -10,6 +10,13 @@ Three tables mirror the shape of the paper's evaluation:
 * **Communication by steering policy** — messages per instruction, mean
   hop distance and the hop-distance distribution per (steering, topology).
 
+When the store holds energy-model results (``repro.energy``), two more
+tables cover the paper's actual motivation — energy, not just IPC:
+
+* **Energy per instruction vs cluster count** — mean EPI per (mix,
+  steering, cluster count), RING and CONV side by side with the ratio;
+* **Energy breakdown** — per-component EPI share per (steering, topology).
+
 Seeds are averaged (arithmetic mean); everything else stays a separate row.
 Output is markdown (one document) and CSV (one file per table).
 """
@@ -20,15 +27,21 @@ import csv
 import os
 from collections import defaultdict
 from dataclasses import dataclass, field
+from functools import cached_property
 from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro.common.errors import StoreError
+from repro.energy import ENERGY_COMPONENTS
 from repro.sweep.store import ResultStore
 
 
 @dataclass(frozen=True)
 class ResultRow:
-    """One store record flattened to the fields the tables consume."""
+    """One store record flattened to the fields the tables consume.
+
+    ``energy`` is the sorted ``(component, units)`` breakdown for records
+    computed with the energy model enabled, ``None`` otherwise.
+    """
 
     mix: str
     topology: str
@@ -39,6 +52,7 @@ class ResultRow:
     cycles: int
     communications: int
     hop_histogram: Tuple[Tuple[int, int], ...]
+    energy: Optional[Tuple[Tuple[str, int], ...]] = None
 
     @property
     def ipc(self) -> float:
@@ -56,6 +70,27 @@ class ResultRow:
         if not total:
             return 0.0
         return sum(d * count for d, count in self.hop_histogram) / total
+
+    @cached_property
+    def _energy_map(self) -> Dict[str, int]:
+        # Built once per row: the tables probe ~10 components per row.
+        return dict(self.energy) if self.energy is not None else {}
+
+    @property
+    def energy_total(self) -> int:
+        if self.energy is None:
+            return 0
+        return self._energy_map["total"]
+
+    @property
+    def epi(self) -> float:
+        """Energy units per instruction (0.0 without energy data)."""
+        if not self.n_instructions:
+            return 0.0
+        return self.energy_total / self.n_instructions
+
+    def energy_component(self, component: str) -> int:
+        return self._energy_map.get(component, 0)
 
 
 @dataclass
@@ -98,6 +133,13 @@ def load_rows(store: ResultStore) -> List[ResultRow]:
             point = record["point"]
             config = point["config"]
             result = record["result"]
+            energy_data = result.get("energy")
+            if energy_data is not None:
+                # A breakdown missing any component is a corrupt record and
+                # must fail here (KeyError -> StoreError), not load silently
+                # and skew the share tables downstream.
+                for component in ENERGY_COMPONENTS + ("total",):
+                    int(energy_data[component])
             rows.append(
                 ResultRow(
                     mix=point["mix"],
@@ -114,6 +156,12 @@ def load_rows(store: ResultStore) -> List[ResultRow]:
                             for d, c in result["hop_histogram"].items()
                         )
                     ),
+                    energy=tuple(
+                        sorted(
+                            (str(comp), int(units))
+                            for comp, units in energy_data.items()
+                        )
+                    ) if energy_data is not None else None,
                 )
             )
         except (KeyError, TypeError, ValueError) as exc:
@@ -212,12 +260,78 @@ def communication_table(rows: Sequence[ResultRow]) -> Table:
     return table
 
 
+def _group_epi(
+    rows: Sequence[ResultRow],
+) -> Dict[Tuple[str, str, int, str], float]:
+    """Seed-averaged EPI keyed by (mix, steering, n_clusters, topology)."""
+    acc: Dict[Tuple[str, str, int, str], List[float]] = defaultdict(list)
+    for row in rows:
+        acc[(row.mix, row.steering, row.n_clusters, row.topology)].append(row.epi)
+    return {key: _mean(vals) for key, vals in acc.items()}
+
+
+def epi_vs_clusters_table(rows: Sequence[ResultRow]) -> Table:
+    """Mean energy per instruction per cluster count, RING vs CONV.
+
+    Only energy-model rows contribute; without any the table is empty.
+    """
+    energy_rows = [row for row in rows if row.energy is not None]
+    epi = _group_epi(energy_rows)
+    table = Table(
+        title="Energy per instruction vs cluster count",
+        slug="epi_vs_clusters",
+        columns=["mix", "steering", "n_clusters",
+                 "ring_epi", "conv_epi", "ring/conv"],
+    )
+    groups = sorted({(m, s, n) for m, s, n, _t in epi})
+    for mix, steering, n_clusters in groups:
+        ring = epi.get((mix, steering, n_clusters, "ring"))
+        conv = epi.get((mix, steering, n_clusters, "conv"))
+        ratio = ring / conv if ring is not None and conv else None
+        table.rows.append([
+            mix, steering, n_clusters,
+            ring if ring is not None else "-",
+            conv if conv is not None else "-",
+            ratio if ratio is not None else "-",
+        ])
+    return table
+
+
+def energy_breakdown_table(rows: Sequence[ResultRow]) -> Table:
+    """Per-component EPI and component shares per (steering, topology)."""
+    energy_rows = [row for row in rows if row.energy is not None]
+    groups: Dict[Tuple[str, str], List[ResultRow]] = defaultdict(list)
+    for row in energy_rows:
+        groups[(row.steering, row.topology)].append(row)
+    table = Table(
+        title="Energy breakdown by steering policy",
+        slug="energy_breakdown",
+        columns=["steering", "topology", "epi"]
+        + [f"{component}_share" for component in ENERGY_COMPONENTS],
+    )
+    for (steering, topology), members in sorted(groups.items()):
+        total = sum(row.energy_total for row in members)
+        shares = [
+            sum(row.energy_component(component) for row in members) / total
+            if total else 0.0
+            for component in ENERGY_COMPONENTS
+        ]
+        table.rows.append(
+            [steering, topology, _mean([row.epi for row in members])] + shares
+        )
+    return table
+
+
 def build_tables(rows: Sequence[ResultRow]) -> List[Table]:
-    return [
+    tables = [
         ipc_vs_clusters_table(rows),
         relative_ipc_table(rows),
         communication_table(rows),
     ]
+    if any(row.energy is not None for row in rows):
+        tables.append(epi_vs_clusters_table(rows))
+        tables.append(energy_breakdown_table(rows))
+    return tables
 
 
 def render_markdown(
@@ -266,6 +380,8 @@ __all__ = [
     "Table",
     "build_tables",
     "communication_table",
+    "energy_breakdown_table",
+    "epi_vs_clusters_table",
     "ipc_vs_clusters_table",
     "load_rows",
     "relative_ipc_table",

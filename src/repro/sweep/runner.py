@@ -29,7 +29,7 @@ from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
-from repro.engine.pipeline import Pipeline
+from repro.engine.pipeline import Pipeline, resolve_kernel_variant
 from repro.engine.trace import Trace
 from repro.sweep.grid import ExperimentPoint
 from repro.sweep.store import ResultStore
@@ -119,6 +119,11 @@ def execute_point(payload: Dict[str, Any]) -> Tuple[Dict[str, Any], float]:
     point = ExperimentPoint.from_dict(data)
     trace = _cached_trace(point.mix, point.n_instructions, point.seed)
     record = Pipeline(point.config, kernel_variant=kernel_variant).run_record(trace)
+    # run_record names the kernel variant that computed it (provenance for
+    # API callers), but the variant must never reach the store: stores are
+    # required to be byte-identical whichever variant computed them — CI
+    # cmp-checks generic-vs-specialized store files.
+    record.pop("kernel_variant", None)
     record["key"] = point.key()
     record["point"] = point.to_dict()
     return record, time.perf_counter() - t0
@@ -135,6 +140,10 @@ class SweepSummary:
     elapsed_s: float
     #: ``point key -> wall-clock seconds`` for freshly computed points only.
     timings: Dict[str, float] = field(default_factory=dict)
+    #: Resolved kernel variant the computed points ran under.  Summary-only
+    #: provenance: the variant never enters the result store (both variants
+    #: produce identical records by contract).
+    kernel_variant: str = ""
 
     @property
     def cache_hit_rate(self) -> float:
@@ -147,10 +156,11 @@ class SweepSummary:
             slowest = (
                 f"; slowest point {self.timings[worst_key]*1e3:.0f} ms"
             )
+        variant = f" [{self.kernel_variant}]" if self.kernel_variant else ""
         return (
             f"{self.n_points} points: {self.n_cached} cached, "
-            f"{self.n_computed} computed on {self.n_workers} worker(s) "
-            f"in {self.elapsed_s:.2f}s{slowest}"
+            f"{self.n_computed} computed on {self.n_workers} worker(s)"
+            f"{variant} in {self.elapsed_s:.2f}s{slowest}"
         )
 
 
@@ -222,6 +232,7 @@ def run_sweep(
         n_workers=n_workers,
         elapsed_s=time.perf_counter() - t0,
         timings=timings,
+        kernel_variant=resolve_kernel_variant(kernel_variant),
     )
 
 

@@ -238,11 +238,16 @@ class TestPipelineVariantSelector:
 
     def test_run_record_identical_across_variants(self):
         """The sweep store must be byte-identical whichever variant computed
-        it — this is what keeps ENGINE_VERSION shared."""
+        it — this is what keeps ENGINE_VERSION shared.  The one permitted
+        difference is the ``kernel_variant`` provenance field, which names
+        the producing variant and never reaches the store (the sweep runner
+        strips it before appending)."""
         t = generate_trace("fp_heavy", 1500, seed=21)
         cfg = ProcessorConfig(n_clusters=3, topology=Topology.CONV)
         rec_g = Pipeline(cfg, kernel_variant="generic").run_record(t)
         rec_s = Pipeline(cfg, kernel_variant="specialized").run_record(t)
+        assert rec_g.pop("kernel_variant") == "generic"
+        assert rec_s.pop("kernel_variant") == "specialized"
         assert rec_g == rec_s
         assert rec_s["engine_version"] == ENGINE_VERSION == "1"
 

@@ -325,6 +325,7 @@ class TestResultRecord:
         assert record["engine_version"] == ENGINE_VERSION
         assert record["config_digest"] == cfg.config_digest()
         assert record["trace"] == t.name
+        assert record["kernel_variant"] == Pipeline(cfg).kernel_variant
         assert record["result"]["cycles"] == simulate(t, cfg).cycles
         import json
 

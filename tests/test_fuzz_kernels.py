@@ -1,12 +1,20 @@
 """Differential fuzzing across all three kernel implementations.
 
-~50 randomized ``(config, mix, seed)`` points, deliberately biased toward
+~75 randomized ``(config, mix, seed)`` points, deliberately biased toward
 the corners the specializer folds differently — non-power-of-two cluster
 counts, ``bus.bandwidth > 1``, ``hop_latency > 1``, ``window_size == 1``,
 zero-FP mixes on FP-less clusters — asserting that the naive
 object-per-instruction oracle, the generic table-driven loop, and the
 per-config compiled specialized kernel agree on **every**
 :class:`KernelResult` field, not just cycles.
+
+Most points run with the per-event energy model enabled under randomized
+integer costs, so the agreement extends to every ``energy`` breakdown
+component with exact integer equality: the generic loop and the
+specializer fold their breakdowns from loop-maintained counters, while the
+naive oracle charges every cost at its event site — three independent
+accountings of one model.  The remaining points keep the model off, which
+keeps the pre-energy codegen path fuzzed too.
 """
 
 import dataclasses
@@ -18,12 +26,13 @@ import pytest
 
 from repro.common.config import BusConfig, ClusterConfig, ProcessorConfig
 from repro.common.types import Topology
+from repro.energy import ENERGY_COMPONENTS, EnergyConfig, FuEnergy
 from repro.engine import KernelResult, simulate, simulate_specialized
 from repro.workloads import generate_trace
 
 sys.path.insert(0, os.path.join(os.path.dirname(__file__), os.pardir, "bench"))
 
-N_POINTS = 50
+N_POINTS = 75
 TRACE_LEN = 700
 
 #: Every KernelResult field, derived from the dataclass so a newly added
@@ -33,6 +42,34 @@ FIELDS = tuple(f.name for f in dataclasses.fields(KernelResult))
 #: ``int_heavy`` has no FP classes at all, so it must also run on clusters
 #: with zero FP units; the remaining mixes keep the default cluster.
 ZERO_FP_CLUSTER = ClusterConfig(fu_counts=(1, 1, 0, 0))
+
+
+def random_energy(rng: random.Random) -> EnergyConfig:
+    """Randomized integer cost vector (zero costs included on purpose)."""
+    return EnergyConfig(
+        enabled=True,
+        fetch=rng.randrange(4),
+        steer=rng.randrange(3),
+        issue=rng.randrange(5),
+        operand_read=rng.randrange(3),
+        result_write=rng.randrange(3),
+        bus_hop=rng.randrange(5),
+        l1_hit=rng.randrange(3),
+        l1_miss=rng.randrange(9),
+        l2_miss=rng.randrange(40),
+        wakeup=rng.randrange(3),
+        fu=FuEnergy(
+            int_alu=rng.randrange(3),
+            int_mul=rng.randrange(6),
+            int_div=rng.randrange(12),
+            fp_add=rng.randrange(4),
+            fp_mul=rng.randrange(8),
+            fp_div=rng.randrange(16),
+            load=rng.randrange(4),
+            store=rng.randrange(4),
+            branch=rng.randrange(3),
+        ),
+    )
 
 
 def random_point(rng: random.Random):
@@ -49,6 +86,9 @@ def random_point(rng: random.Random):
             issue_width=rng.choice([1, 2, 4]),
             fu_counts=rng.choice([(1, 1, 1, 1), (2, 1, 1, 1), (2, 2, 2, 2)]),
         )
+    # ~80% of points fuzz the energy model; the rest keep the pre-energy
+    # (model off) codegen path covered.
+    energy = random_energy(rng) if rng.random() < 0.8 else EnergyConfig()
     cfg = ProcessorConfig(
         n_clusters=rng.choice([1, 2, 3, 4, 5, 6, 7, 8]),
         topology=rng.choice([Topology.RING, Topology.CONV]),
@@ -62,6 +102,7 @@ def random_point(rng: random.Random):
             bandwidth=rng.choice([1, 1, 2, 4]),
             writeback_latency=rng.choice([0, 1, 2]),
         ),
+        energy=energy,
     )
     return cfg, mix, rng.randrange(10_000)
 
@@ -89,3 +130,18 @@ def test_three_way_agreement(index):
             f"naive vs kernel diverge on {field!r}: {label}: "
             f"{naive[field]!r} != {generic[field]!r}"
         )
+    if cfg.energy.enabled:
+        # Spell the per-component checks out (the dict equality above
+        # already covers them) so a divergence names the component.
+        for component in ENERGY_COMPONENTS + ("total",):
+            assert (
+                naive["energy"][component]
+                == generic["energy"][component]
+                == specialized["energy"][component]
+            ), f"energy component {component!r} diverges: {label}"
+        assert generic["energy"]["total"] == sum(
+            generic["energy"][c] for c in ENERGY_COMPONENTS
+        ), f"energy total is not the component sum: {label}"
+    else:
+        assert naive["energy"] is None
+        assert generic["energy"] is None

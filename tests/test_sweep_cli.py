@@ -1,0 +1,124 @@
+"""``python -m repro.sweep`` CLI: run/report/list wiring and --energy."""
+
+import json
+import os
+
+import pytest
+
+from repro.sweep.cli import main
+from repro.sweep.grid import SweepSpec
+from repro.sweep.store import ResultStore
+
+
+def tiny_spec_file(tmp_path) -> str:
+    spec = SweepSpec(
+        name="tiny",
+        topologies=("ring", "conv"),
+        cluster_counts=(2,),
+        steerings=("dependence",),
+        mixes=("int_heavy",),
+        n_instructions=200,
+        seeds=(7,),
+    )
+    path = str(tmp_path / "spec.json")
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(spec.to_dict(), fh)
+    return path
+
+
+class TestRun:
+    def test_run_spec_file_and_cache_hits(self, tmp_path, capsys):
+        spec = tiny_spec_file(tmp_path)
+        store = str(tmp_path / "store.jsonl")
+        assert main(["run", "--spec", spec, "--store", store,
+                     "--workers", "1", "--verbose"]) == 0
+        out = capsys.readouterr().out
+        assert "2 points" in out
+        assert len(ResultStore(store)) == 2
+        assert main(["run", "--spec", spec, "--store", store,
+                     "--workers", "1"]) == 0
+        assert "2 cached, 0 computed" in capsys.readouterr().out
+
+    def test_exactly_one_spec_source_required(self, tmp_path, capsys):
+        assert main(["run", "--store", str(tmp_path / "s.jsonl")]) == 2
+        assert "choose exactly one" in capsys.readouterr().err
+        assert main(["run", "--smoke", "--paper",
+                     "--store", str(tmp_path / "s.jsonl")]) == 2
+
+    def test_energy_flag_enables_model_on_every_point(self, tmp_path):
+        spec = tiny_spec_file(tmp_path)
+        store_path = str(tmp_path / "store.jsonl")
+        assert main(["run", "--spec", spec, "--store", store_path,
+                     "--workers", "1", "--energy"]) == 0
+        records = list(ResultStore(store_path).records())
+        assert records, "energy run stored nothing"
+        for record in records:
+            assert record["result"]["energy"]["total"] > 0
+            assert record["point"]["config"]["energy"]["enabled"] is True
+
+    def test_energy_points_have_distinct_cache_keys(self, tmp_path, capsys):
+        spec = tiny_spec_file(tmp_path)
+        store = str(tmp_path / "store.jsonl")
+        assert main(["run", "--spec", spec, "--store", store,
+                     "--workers", "1"]) == 0
+        assert main(["run", "--spec", spec, "--store", store,
+                     "--workers", "1", "--energy"]) == 0
+        assert "0 cached, 2 computed" in capsys.readouterr().out
+        assert len(ResultStore(store)) == 4
+
+
+class TestReport:
+    def test_report_empty_store_fails(self, tmp_path, capsys):
+        assert main(["report", "--store", str(tmp_path / "none.jsonl"),
+                     "--out", str(tmp_path / "report")]) == 1
+        assert "empty" in capsys.readouterr().err
+
+    def test_report_without_energy_has_no_energy_tables(self, tmp_path, capsys):
+        spec = tiny_spec_file(tmp_path)
+        store = str(tmp_path / "store.jsonl")
+        out_dir = str(tmp_path / "report")
+        main(["run", "--spec", spec, "--store", store, "--workers", "1"])
+        assert main(["report", "--store", store, "--out", out_dir]) == 0
+        stdout = capsys.readouterr().out
+        assert "RING/CONV relative IPC" in stdout
+        assert "Energy per instruction" not in stdout
+        with open(os.path.join(out_dir, "report.md"), encoding="utf-8") as fh:
+            assert "Energy per instruction" not in fh.read()
+        assert not os.path.exists(os.path.join(out_dir, "epi_vs_clusters.csv"))
+
+    def test_report_with_energy_emits_epi_tables(self, tmp_path, capsys):
+        spec = tiny_spec_file(tmp_path)
+        store = str(tmp_path / "store.jsonl")
+        out_dir = str(tmp_path / "report")
+        main(["run", "--spec", spec, "--store", store, "--workers", "1",
+              "--energy"])
+        assert main(["report", "--store", store, "--out", out_dir]) == 0
+        assert "Energy per instruction vs cluster count" in \
+            capsys.readouterr().out
+        epi_csv = os.path.join(out_dir, "epi_vs_clusters.csv")
+        with open(epi_csv, encoding="utf-8") as fh:
+            lines = [line for line in fh.read().splitlines() if line]
+        assert len(lines) > 1, "EPI table is empty"
+        with open(os.path.join(out_dir, "report.md"), encoding="utf-8") as fh:
+            report_md = fh.read()
+        assert "Energy breakdown by steering policy" in report_md
+
+
+class TestList:
+    def test_list_store_and_mixes(self, tmp_path, capsys):
+        spec = tiny_spec_file(tmp_path)
+        store = str(tmp_path / "store.jsonl")
+        main(["run", "--spec", spec, "--store", store, "--workers", "1"])
+        assert main(["list", "--store", store]) == 0
+        out = capsys.readouterr().out
+        assert "2 record(s)" in out
+        assert "int_heavy" in out
+        assert main(["list", "--mixes"]) == 0
+        assert "memory_bound" in capsys.readouterr().out
+
+
+@pytest.mark.parametrize("argv", [["run", "--smoke", "--workers", "1"]])
+def test_smoke_spec_runs_end_to_end(tmp_path, argv, monkeypatch):
+    monkeypatch.chdir(tmp_path)
+    assert main(argv + ["--store", "store.jsonl"]) == 0
+    assert len(ResultStore("store.jsonl")) == 24

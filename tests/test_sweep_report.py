@@ -9,9 +9,12 @@ import pytest
 from repro.common.errors import StoreError
 from repro.sweep.cli import main as cli_main
 from repro.sweep.grid import SweepSpec
+from repro.energy import ENERGY_COMPONENTS
 from repro.sweep.report import (
     build_tables,
     communication_table,
+    energy_breakdown_table,
+    epi_vs_clusters_table,
     ipc_vs_clusters_table,
     load_rows,
     relative_ipc_table,
@@ -34,6 +37,24 @@ def populated_store(tmp_path_factory):
         seeds=(1, 2),
     )
     path = str(tmp_path_factory.mktemp("report") / "store.jsonl")
+    store = ResultStore(path)
+    run_sweep(spec.expand(), store, workers=1)
+    return store
+
+
+@pytest.fixture(scope="module")
+def energy_store(tmp_path_factory):
+    spec = SweepSpec(
+        name="energy-report-test",
+        topologies=("ring", "conv"),
+        cluster_counts=(2, 4),
+        steerings=("dependence",),
+        mixes=("int_heavy",),
+        n_instructions=400,
+        seeds=(1,),
+        base={"energy.enabled": True},
+    )
+    path = str(tmp_path_factory.mktemp("energy-report") / "store.jsonl")
     store = ResultStore(path)
     run_sweep(spec.expand(), store, workers=1)
     return store
@@ -94,6 +115,75 @@ class TestTables:
                      if r[1] == "dependence" and r[2] == 2)
         assert ring2[3] == pytest.approx(
             sum(per_seed.values()) / len(per_seed))
+
+
+class TestEnergyTables:
+    def test_rows_expose_energy(self, energy_store):
+        rows = load_rows(energy_store)
+        assert len(rows) == 4
+        for row in rows:
+            assert row.energy is not None
+            assert row.energy_total > 0
+            assert row.epi > 0
+            assert row.energy_component("wakeup") > 0
+            assert row.energy_component("nonexistent") == 0
+
+    def test_rows_without_energy_are_none(self, populated_store):
+        for row in load_rows(populated_store):
+            assert row.energy is None
+            assert row.energy_total == 0
+            assert row.epi == 0.0
+
+    def test_epi_vs_clusters(self, energy_store):
+        table = epi_vs_clusters_table(load_rows(energy_store))
+        assert len(table.rows) == 2  # 1 mix x 1 steering x 2 cluster counts
+        for row in table.rows:
+            ring, conv, ratio = row[3], row[4], row[5]
+            assert ring > 0 and conv > 0
+            assert ratio == pytest.approx(ring / conv)
+
+    def test_energy_breakdown_shares_sum_to_one(self, energy_store):
+        table = energy_breakdown_table(load_rows(energy_store))
+        assert len(table.rows) == 2  # (dependence x ring, dependence x conv)
+        n_fixed = 3  # steering, topology, epi
+        for row in table.rows:
+            shares = row[n_fixed:]
+            assert len(shares) == len(ENERGY_COMPONENTS)
+            assert sum(shares) == pytest.approx(1.0)
+            assert row[2] > 0  # epi
+
+    def test_build_tables_appends_energy_tables_only_when_present(
+        self, populated_store, energy_store
+    ):
+        plain_slugs = [t.slug for t in build_tables(load_rows(populated_store))]
+        assert "epi_vs_clusters" not in plain_slugs
+        energy_slugs = [t.slug for t in build_tables(load_rows(energy_store))]
+        assert energy_slugs[-2:] == ["epi_vs_clusters", "energy_breakdown"]
+
+    def test_mixed_store_energy_tables_use_energy_rows_only(
+        self, energy_store, populated_store
+    ):
+        rows = load_rows(populated_store) + load_rows(energy_store)
+        table = epi_vs_clusters_table(rows)
+        # Only the energy rows contribute; the plain rows must not drag the
+        # group means toward zero.
+        full = epi_vs_clusters_table(load_rows(energy_store))
+        assert table.rows == full.rows
+
+    @pytest.mark.parametrize("missing", ["total", "wakeup"])
+    def test_energy_breakdown_missing_key_raises_store_error(
+        self, energy_store, tmp_path, missing
+    ):
+        # A breakdown missing any component must fail at load (the
+        # corrupt-record contract), not load silently and skew the share
+        # tables (or crash table building with a raw KeyError).
+        path = str(tmp_path / "broken.jsonl")
+        store = ResultStore(path)
+        record = json.loads(json.dumps(next(energy_store.records())))
+        del record["result"]["energy"][missing]
+        store.append(record)
+        with pytest.raises(StoreError, match="not a sweep result"):
+            load_rows(store)
 
 
 class TestRendering:

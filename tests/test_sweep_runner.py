@@ -107,6 +107,17 @@ class TestRecordContents:
             assert record["engine_version"] == ENGINE_VERSION
             assert record["config_digest"] == point.config.config_digest()
             assert record["point"] == point.to_dict()
+            # Variant provenance is summary-only: stored records must stay
+            # byte-identical whichever kernel variant computed them.
+            assert "kernel_variant" not in record
+
+    def test_summary_reports_resolved_kernel_variant(self, tmp_path):
+        spec = small_spec()
+        store = ResultStore(str(tmp_path / "store.jsonl"))
+        summary = run_sweep(spec.expand(), store, workers=1,
+                            kernel_variant="generic")
+        assert summary.kernel_variant == "generic"
+        assert "[generic]" in summary.describe()
 
     def test_execute_point_round_trips_through_dicts(self):
         point = small_spec().expand()[0]

@@ -132,3 +132,44 @@ class TestRecovery:
             fh.write(json.dumps(record("a", 1)) + "\n\n")
             fh.write(json.dumps(record("b", 2)) + "\n")
         assert len(ResultStore(path)) == 2
+
+    def test_non_utf8_tail_recovered(self, tmp_path):
+        # An interrupted append can cut a multi-byte character in half: the
+        # tail is then not even decodable, and recovery must treat the
+        # UnicodeDecodeError exactly like a truncated-JSON tail.
+        path = self._store_with_tail(tmp_path, b'{"key": "caf\xc3')
+        store = ResultStore(path)
+        assert len(store) == 2
+        assert store.recovered_bytes > 0
+        store.append(record("c", 3))
+        assert len(ResultStore(path)) == 3
+
+    def test_non_utf8_interior_line_raises(self, tmp_path):
+        path = str(tmp_path / "store.jsonl")
+        with open(path, "wb") as fh:
+            fh.write(b'{"key": "caf\xc3\n')
+            fh.write(json.dumps(record("b", 2)).encode("utf-8") + b"\n")
+        with pytest.raises(StoreError, match="corrupt interior record"):
+            ResultStore(path)
+
+    def test_keyless_object_interior_line_raises(self, tmp_path):
+        # Valid JSON, valid object, but no "key": interior corruption, not
+        # a recoverable tail.
+        path = str(tmp_path / "store.jsonl")
+        with open(path, "w") as fh:
+            fh.write(json.dumps({"value": 1}) + "\n")
+            fh.write(json.dumps(record("b", 2)) + "\n")
+        with pytest.raises(StoreError, match="corrupt interior record"):
+            ResultStore(path)
+
+    def test_compact_discards_pending_tail_repair(self, tmp_path):
+        # compact() rewrites the whole file from the live records; a repair
+        # offset scheduled by load() must not be applied to the new bytes.
+        path = self._store_with_tail(tmp_path, b'{"key": "c", "val')
+        store = ResultStore(path)
+        assert store.recovered_bytes > 0
+        store.compact()
+        store.append(record("d", 4))
+        reloaded = ResultStore(path)
+        assert reloaded.recovered_bytes == 0
+        assert sorted(reloaded.keys()) == ["a", "b", "d"]
