@@ -20,7 +20,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
 from repro.common.config import ProcessorConfig
-from repro.common.errors import ConfigurationError
+from repro.common.errors import ConfigurationError, SteeringError
 from repro.common.types import (
     DEST_REGCLASS_FOR_CLASS,
     FU_FOR_CLASS,
@@ -34,6 +34,7 @@ from repro.engine.trace import (
     FLAG_MISPREDICT,
     Trace,
 )
+from repro.steering import BUILTIN_POLICIES, NaiveSteeringContext, get_policy
 
 
 @dataclass
@@ -245,7 +246,6 @@ class NaivePipeline:
             }
             e_fetch = e_steer = e_issue = e_operand = e_fu = 0
             e_cache = e_wakeup = 0
-            retire_cycles: List[int] = []
             retire_ptr = 0
 
         clusters = [NaiveCluster(c, cfg) for c in range(cfg.n_clusters)]
@@ -258,6 +258,26 @@ class NaivePipeline:
 
         is_ring = cfg.topology is Topology.RING
         steer = cfg.steering
+        # The three original policies stay inlined below; any other
+        # registered policy steers through its object-protocol closure.
+        # ``retire_cycles`` (the running max of completion, appended after
+        # each retire) feeds both the energy model's wakeup-occupancy scan
+        # and occupancy-aware steering plugins.
+        plugin = None if steer in BUILTIN_POLICIES else get_policy(steer)
+        track_retire = energy_cfg is not None or (
+            plugin is not None and plugin.needs_retire
+        )
+        retire_cycles: List[int] = []
+        steer_fn = None
+        if plugin is not None:
+            steer_fn = plugin.make_naive(NaiveSteeringContext(
+                n_clusters=cfg.n_clusters,
+                is_ring=is_ring,
+                window_size=cfg.window_size,
+                fetch_width=cfg.fetch_width,
+                instructions=instructions,
+                retire_cycles=retire_cycles,
+            ))
         rr_counter = 0
         last_retire = 0
         mispredicts = 0
@@ -300,8 +320,16 @@ class NaivePipeline:
                     rr_counter += 1
             elif steer == "modulo":
                 cluster_idx = (instr.index // cfg.fetch_width) % cfg.n_clusters
-            else:
+            elif steer == "round_robin":
                 cluster_idx = instr.index % cfg.n_clusters
+            else:
+                cluster_idx = steer_fn(instr, frontend.fetch_cycle)
+                if not 0 <= cluster_idx < cfg.n_clusters:
+                    raise SteeringError(
+                        f"steering policy {steer!r} returned cluster "
+                        f"{cluster_idx!r} for instruction {instr.index} "
+                        f"(valid: 0..{cfg.n_clusters - 1})"
+                    )
             instr.cluster = cluster_idx
             cluster = clusters[cluster_idx]
             if energy_cfg is not None:
@@ -368,7 +396,7 @@ class NaivePipeline:
                 )
 
             last_retire = frontend.retire(instr, last_retire)
-            if energy_cfg is not None:
+            if track_retire:
                 retire_cycles.append(last_retire)
 
         n = len(instructions)

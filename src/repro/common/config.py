@@ -23,9 +23,13 @@ from repro.common.errors import ConfigurationError
 from repro.common.jsonutil import content_digest
 from repro.common.types import FuType, InstrClass, Topology
 from repro.energy import EnergyConfig
+from repro.steering import BUILTIN_POLICIES, STEERING_REGISTRY, list_policies
 
-#: Steering policies understood by the pipeline kernel.
-STEERING_POLICIES = ("dependence", "modulo", "round_robin")
+#: Backwards-compatible alias: the three policies of the original frozen
+#: tuple.  Validation consults the live :data:`repro.steering.STEERING_REGISTRY`
+#: — policies added via :func:`repro.steering.register_policy` are accepted
+#: without touching this module.
+STEERING_POLICIES = BUILTIN_POLICIES
 
 _T = TypeVar("_T")
 
@@ -305,8 +309,9 @@ class ProcessorConfig:
             f"({self.window_size} < {self.fetch_width})",
         )
         _require(
-            self.steering in STEERING_POLICIES,
-            f"ProcessorConfig.steering must be one of {STEERING_POLICIES}, got {self.steering!r}",
+            self.steering in STEERING_REGISTRY,
+            f"ProcessorConfig.steering must be a registered steering policy, "
+            f"one of {list(list_policies())}; got {self.steering!r}",
         )
 
     def with_(self, **overrides: object) -> "ProcessorConfig":

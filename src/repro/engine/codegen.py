@@ -63,6 +63,7 @@ from repro.common.config import ProcessorConfig
 from repro.common.jsonutil import content_digest
 from repro.common.types import Topology
 from repro.energy import DST_CLASS_INDICES, MEM_CLASS_INDICES
+from repro.steering import get_policy
 from repro.engine.kernel import (
     KernelResult,
     STAGES,
@@ -139,6 +140,19 @@ def _spec_values(cfg: ProcessorConfig) -> Dict[str, object]:
             "fu": en.fu.table(),
         }
     return values
+
+
+def _fetch_cycle_local(v: Dict[str, object]) -> str:
+    """Name of the unshifted fetch-cycle local in the emitted loop body.
+
+    Power-of-two fetch widths fold the fetch state into one pre-shifted
+    token (see ``_emit_body``); the body then captures the plain cycle as
+    ``fc`` for the consumers that need it (the energy block and
+    occupancy-aware steering policies).  Every emitter that references the
+    fetch cycle must use this name.
+    """
+    fw: int = v["fetch_width"]  # type: ignore[assignment]
+    return "fc" if fw & (fw - 1) == 0 else "fetch_cycle"
 
 
 def specialization_key(cfg: ProcessorConfig) -> str:
@@ -404,6 +418,7 @@ def _emit_body(e: _Emitter, v: Dict[str, object], ind: int,
     wb: int = v["writeback_latency"]  # type: ignore[assignment]
     bw: int = v["bandwidth"]  # type: ignore[assignment]
 
+    policy = get_policy(v["steering"])  # type: ignore[arg-type]
     e.emit("i += 1", ind)
     pow2_win = window & (window - 1) == 0
     fw: int = v["fetch_width"]  # type: ignore[assignment]
@@ -457,10 +472,11 @@ def _emit_body(e: _Emitter, v: Dict[str, object], ind: int,
         e.emit("fetched_this_cycle += 1", ind)
         e.emit(f"ready = fetch_cycle + {depth}"
                if depth else "ready = fetch_cycle", ind)
-    elif track_energy:
-        # The energy block at the end of the body needs the *unshifted*
-        # fetch cycle; ``ready`` is clobbered by the operand stage and the
-        # token has already advanced by then, so capture it here.
+    elif track_energy or policy.needs_retire:
+        # The energy block at the end of the body (and any occupancy-aware
+        # steering policy) needs the *unshifted* fetch cycle; ``ready`` is
+        # clobbered by the operand stage and the token has already advanced
+        # by then, so capture it here.
         e.emit(f"fc = ftoken >> {shift}", ind)
         e.emit(f"ready = fc + {depth}" if depth else "ready = fc", ind)
         e.emit("ftoken += 1", ind)
@@ -470,13 +486,9 @@ def _emit_body(e: _Emitter, v: Dict[str, object], ind: int,
         e.emit("ftoken += 1", ind)
 
     # ---- steering + operand availability --------------------------------
-    if v["steering"] == "dependence":
-        _emit_dependence_fused(e, v, ind)
-    else:
-        _emit_steering(e, v, ind)
-        e.stage("operands", ind)
-        _emit_operand(e, v, "s1", ind)
-        _emit_operand(e, v, "s2", ind)
+    # Emitted by the registered policy object: built-ins delegate to the
+    # stage emitters above; plugins inline their own branch-free blocks.
+    policy.emit_steering(e, v, ind)
 
     # ---- issue (NOPs occupy no slot or unit) ----------------------------
     # Issue-slot occupancy lives in a flat *sliding list* instead of a
@@ -597,6 +609,7 @@ def _emit_body(e: _Emitter, v: Dict[str, object], ind: int,
         e.emit("rob_idx += 1", ind)
         e.emit(f"if rob_idx == {window}:", ind)
         e.emit("rob_idx = 0", ind + 1)
+    policy.emit_retire(e, v, ind)
 
     if track_energy:
         # Per-event energy state the aggregate counters cannot reconstruct:
@@ -605,7 +618,7 @@ def _emit_body(e: _Emitter, v: Dict[str, object], ind: int,
         # ever moves forward; `fc` is the unshifted fetch cycle captured in
         # the fetch stage.  All other components fold over loop-maintained
         # counters in the epilogue, with the costs as literals.
-        fc_name = "fc" if ftoken else "fetch_cycle"
+        fc_name = _fetch_cycle_local(v)
         e.emit(f"while rp < i and retire_col[rp] <= {fc_name}:", ind)
         e.emit("rp += 1", ind + 1)
         e.emit("wakeup_units += i - rp + 1", ind)
@@ -620,6 +633,7 @@ def emit_kernel_source(cfg: ProcessorConfig) -> str:
     ``specialized_kernel(trace) -> KernelResult``.
     """
     v = _spec_values(cfg)
+    policy = get_policy(cfg.steering)
     nc: int = v["n_clusters"]  # type: ignore[assignment]
     fu_counts: List[int] = v["fu_counts"]  # type: ignore[assignment]
     single_fu = all(c <= 1 for c in fu_counts)
@@ -719,6 +733,7 @@ def emit_kernel_source(cfg: ProcessorConfig) -> str:
     e.emit("last_retire = 0", 1)
     e.emit("rr_counter = 0", 1)
     e.emit("h1 = 0", 1)
+    policy.emit_setup(e, v)
     e.emit("communications = 0", 1)
     e.emit("i = -1", 1)
     pow2_win = window & (window - 1) == 0
@@ -780,8 +795,7 @@ def emit_kernel_source(cfg: ProcessorConfig) -> str:
     e.emit(").tolist()", 2)
 
     # Epilogue.
-    if v["steering"] == "dependence" and v["topology"] == Topology.RING.value:
-        e.emit("hop_counts[1] += h1", 1)
+    policy.emit_epilogue(e, v)
     if v["topology"] == Topology.RING.value:
         dst_terms = " + ".join(
             f"class_counts[{k}]" for k, d in enumerate(dst_t) if d

@@ -36,8 +36,9 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
 from repro.common.config import ProcessorConfig
-from repro.common.errors import ConfigurationError
+from repro.common.errors import ConfigurationError, SteeringError
 from repro.energy import ENERGY_COMPONENTS, fold_breakdown
+from repro.steering import BUILTIN_POLICIES, SteeringContext, get_policy
 from repro.common.types import (
     DEST_REGCLASS_FOR_CLASS,
     FU_FOR_CLASS,
@@ -253,8 +254,13 @@ def simulate(trace: Trace, cfg: ProcessorConfig) -> KernelResult:
     mispredict_pen = cfg.branch.mispredict_penalty
     l1_miss_pen = cfg.memory.l1d.miss_penalty
     l2_miss_pen = cfg.memory.l2_miss_penalty
+    # The three original policies stay inlined in the loop below (the
+    # generic kernel is performance-gated against the naive oracle); any
+    # other registered policy steers through its per-run closure.
     steer_dep = cfg.steering == "dependence"
     steer_mod = cfg.steering == "modulo"
+    steer_rr = cfg.steering == "round_robin"
+    plugin = None if cfg.steering in BUILTIN_POLICIES else get_policy(cfg.steering)
 
     fu_counts = cfg.cluster.fu_counts
     class_counts = preflight_class_counts(trace.name, opclass, fu_counts, fu_for)
@@ -262,9 +268,11 @@ def simulate(trace: Trace, cfg: ProcessorConfig) -> KernelResult:
     # one dead ``if track_energy`` branch per instruction; when on, the only
     # per-event state the aggregate counters cannot reconstruct is the
     # reorder-window occupancy at each fetch (see repro.energy), tracked via
-    # a retire-cycle column and a monotone retire pointer.
+    # a retire-cycle column and a monotone retire pointer.  Occupancy-aware
+    # steering policies read the same retire-cycle column.
     track_energy = cfg.energy.enabled
-    retire_col: List[int] = [0] * n if track_energy else []
+    track_retire = track_energy or (plugin is not None and plugin.needs_retire)
+    retire_col: List[int] = [0] * n if track_retire else []
     retire_ptr = 0
     wakeup_units = 0
     operand_reads = 0
@@ -287,6 +295,18 @@ def simulate(trace: Trace, cfg: ProcessorConfig) -> KernelResult:
     issued_per_cluster = [0] * n_clusters
     # Hop distances are bounded by n_clusters: count into a flat list.
     hop_counts = [0] * (n_clusters + 1)
+
+    steer_plugin = None
+    if plugin is not None:
+        steer_plugin = plugin.make_generic(SteeringContext(
+            n_clusters=n_clusters,
+            is_ring=is_ring,
+            window_size=window_size,
+            fetch_width=fetch_width,
+            cluster_col=cluster_col,
+            complete_col=complete_col,
+            retire_col=retire_col,
+        ))
 
     nc = n_clusters
     # Power-of-two cluster counts take the &-mask fast path for ring modulo
@@ -346,8 +366,16 @@ def simulate(trace: Trace, cfg: ProcessorConfig) -> KernelResult:
                 rr_counter += 1
         elif steer_mod:
             cluster = (i // fetch_width) % nc
-        else:  # round_robin
+        elif steer_rr:
             cluster = i % nc
+        else:
+            cluster = steer_plugin(i, s1, s2, fetch_cycle)
+            if not 0 <= cluster < nc:
+                raise SteeringError(
+                    f"steering policy {cfg.steering!r} returned cluster "
+                    f"{cluster!r} for instruction {i} "
+                    f"(valid: 0..{nc - 1})"
+                )
         cluster_col[i] = cluster
 
         # ---- operand availability (unrolled over the two sources) -------
@@ -492,6 +520,8 @@ def simulate(trace: Trace, cfg: ProcessorConfig) -> KernelResult:
         rob_idx += 1
         if rob_idx == window_size:
             rob_idx = 0
+        if track_retire:
+            retire_col[i] = last_retire
 
         # ---- energy (per-event counters; see repro.energy) --------------
         if track_energy:
@@ -502,7 +532,6 @@ def simulate(trace: Trace, cfg: ProcessorConfig) -> KernelResult:
             while retire_ptr < i and retire_col[retire_ptr] <= fetch_cycle:
                 retire_ptr += 1
             wakeup_units += i - retire_ptr + 1
-            retire_col[i] = last_retire
 
     energy = None
     if track_energy:

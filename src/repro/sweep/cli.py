@@ -40,8 +40,23 @@ def _load_spec(args: argparse.Namespace) -> SweepSpec:
         return smoke_spec()
     if args.paper:
         return paper_spec()
-    with open(args.spec, "r", encoding="utf-8") as fh:
-        return SweepSpec.from_dict(json.load(fh))
+    # A missing/unreadable file or malformed JSON is an *input* problem, not
+    # a bug: surface it as a ReproError so main() prints a clean one-line
+    # ``error: ...`` and exits 2 instead of dumping a traceback.
+    try:
+        with open(args.spec, "r", encoding="utf-8") as fh:
+            data = json.load(fh)
+    except OSError as exc:
+        raise ReproError(f"cannot read sweep spec {args.spec!r}: {exc}") from exc
+    except UnicodeDecodeError as exc:
+        raise ReproError(
+            f"sweep spec {args.spec!r} is not UTF-8 text: {exc}"
+        ) from exc
+    except json.JSONDecodeError as exc:
+        raise ReproError(
+            f"sweep spec {args.spec!r} is not valid JSON: {exc}"
+        ) from exc
+    return SweepSpec.from_dict(data)
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
@@ -102,7 +117,7 @@ def _cmd_list(args: argparse.Namespace) -> int:
         print(
             f"{record['key']}  {point['mix']:<13s} "
             f"{config['topology']:<4s} x{config['n_clusters']:<2d} "
-            f"{config['steering']:<11s} seed={point['seed']:<6d} "
+            f"{config['steering']:<12s} seed={point['seed']:<6d} "
             f"n={n:<8d} ipc={ipc:.4f}"
         )
     print(f"{len(store)} record(s) in {args.store}")

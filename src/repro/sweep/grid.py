@@ -19,12 +19,13 @@ import json
 from dataclasses import dataclass, fields
 from typing import Any, Dict, List, Mapping, Tuple
 
-from repro.common.config import STEERING_POLICIES, ProcessorConfig
+from repro.common.config import ProcessorConfig
 from repro.common.errors import ConfigurationError
 from repro.common.jsonutil import canonical_json, content_digest
 from repro.common.types import Topology
 from repro.energy import EnergyConfig
 from repro.engine.kernel import ENGINE_VERSION
+from repro.steering import STEERING_REGISTRY, list_policies
 from repro.workloads import get_mix
 
 #: Spec axes that map onto ProcessorConfig fields; they cannot also appear
@@ -164,10 +165,10 @@ class SweepSpec:
                     f"SweepSpec: unknown topology {topo!r}; valid: {valid}"
                 ) from None
         for steering in self.steerings:
-            if steering not in STEERING_POLICIES:
+            if steering not in STEERING_REGISTRY:
                 raise ConfigurationError(
                     f"SweepSpec: unknown steering {steering!r}; "
-                    f"valid: {list(STEERING_POLICIES)}"
+                    f"registered policies: {list(list_policies())}"
                 )
         for mix in self.mixes:
             get_mix(mix)
@@ -274,15 +275,15 @@ def smoke_spec(n_instructions: int = 2_000) -> SweepSpec:
 
 
 def paper_spec(n_instructions: int = 100_000) -> SweepSpec:
-    """The full paper-style grid: every mix and steering policy, ring and
-    conv, 2/4/8 clusters, three seeds."""
+    """The full paper-style grid: every mix and every *registered* steering
+    policy (plugins included), ring and conv, 2/4/8 clusters, three seeds."""
     from repro.workloads import list_mixes
 
     return SweepSpec(
         name="paper",
         topologies=("ring", "conv"),
         cluster_counts=(2, 4, 8),
-        steerings=tuple(STEERING_POLICIES),
+        steerings=list_policies(),
         mixes=list_mixes(),
         n_instructions=n_instructions,
         seeds=(2005, 2006, 2007),

@@ -8,6 +8,12 @@ object-per-instruction oracle, the generic table-driven loop, and the
 per-config compiled specialized kernel agree on **every**
 :class:`KernelResult` field, not just cycles.
 
+The steering axis is drawn uniformly from ``repro.steering.list_policies()``
+— the live registry — so every registered policy (the three built-ins, the
+``load_balance``/``criticality`` plugins, and anything registered before
+collection) is automatically under the differential, energy components
+included.
+
 Most points run with the per-event energy model enabled under randomized
 integer costs, so the agreement extends to every ``energy`` breakdown
 component with exact integer equality: the generic loop and the
@@ -28,6 +34,7 @@ from repro.common.config import BusConfig, ClusterConfig, ProcessorConfig
 from repro.common.types import Topology
 from repro.energy import ENERGY_COMPONENTS, EnergyConfig, FuEnergy
 from repro.engine import KernelResult, simulate, simulate_specialized
+from repro.steering import list_policies
 from repro.workloads import generate_trace
 
 sys.path.insert(0, os.path.join(os.path.dirname(__file__), os.pardir, "bench"))
@@ -95,7 +102,11 @@ def random_point(rng: random.Random):
         fetch_width=fetch_width,
         window_size=window_size,
         frontend_depth=rng.choice([0, 2, 4]),
-        steering=rng.choice(["dependence", "modulo", "round_robin"]),
+        # Uniform over the *registry*, so policies added via
+        # repro.steering.register_policy (load_balance, criticality, future
+        # plugins) are automatically under the differential without this
+        # file changing.
+        steering=rng.choice(list(list_policies())),
         cluster=cluster,
         bus=BusConfig(
             hop_latency=rng.choice([1, 1, 2, 3]),

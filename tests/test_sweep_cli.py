@@ -45,6 +45,39 @@ class TestRun:
         assert main(["run", "--smoke", "--paper",
                      "--store", str(tmp_path / "s.jsonl")]) == 2
 
+    def test_missing_spec_file_clean_error(self, tmp_path, capsys):
+        # Regression: used to dump a raw FileNotFoundError traceback.
+        missing = str(tmp_path / "missing.json")
+        assert main(["run", "--spec", missing,
+                     "--store", str(tmp_path / "s.jsonl")]) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error: cannot read sweep spec")
+        assert missing in err
+        assert "Traceback" not in err
+
+    def test_non_utf8_spec_file_clean_error(self, tmp_path, capsys):
+        bad = str(tmp_path / "bad.json")
+        with open(bad, "wb") as fh:
+            fh.write(b"\xff\xfe{}")
+        assert main(["run", "--spec", bad,
+                     "--store", str(tmp_path / "s.jsonl")]) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error: sweep spec")
+        assert "not UTF-8" in err
+        assert "Traceback" not in err
+
+    def test_malformed_spec_file_clean_error(self, tmp_path, capsys):
+        # Regression: used to dump a raw json.JSONDecodeError traceback.
+        bad = str(tmp_path / "bad.json")
+        with open(bad, "w", encoding="utf-8") as fh:
+            fh.write('{"name": "broken",')
+        assert main(["run", "--spec", bad,
+                     "--store", str(tmp_path / "s.jsonl")]) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error: sweep spec")
+        assert "not valid JSON" in err
+        assert "Traceback" not in err
+
     def test_energy_flag_enables_model_on_every_point(self, tmp_path):
         spec = tiny_spec_file(tmp_path)
         store_path = str(tmp_path / "store.jsonl")
