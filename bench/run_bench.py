@@ -47,7 +47,7 @@ sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
 from repro.common.config import EnergyConfig, ProcessorConfig
 from repro.common.types import Topology
 from repro.engine import KernelResult, get_kernel, simulate
-from repro.sweep import ResultStore, SweepSpec, run_sweep
+from repro.sweep import ResultStore, RetryPolicy, SweepSpec, run_sweep
 from repro.workloads import generate_trace
 
 from naive_ref import NaivePipeline
@@ -139,7 +139,10 @@ def bench_matrix(trace, args, store_path: str):
     )
     points = spec.expand()
     store = ResultStore(store_path)
-    summary = run_sweep(points, store, workers=1)
+    # Fail fast: a silent retry would fold a failed attempt's wall-clock
+    # into the cell it gates, polluting the speedup ratios.
+    summary = run_sweep(points, store, workers=1,
+                        policy=RetryPolicy(max_attempts=1))
 
     out: Dict[str, Dict[str, Dict[str, float]]] = {}
     worst_spec_speedup = float("inf")

@@ -1,0 +1,317 @@
+"""Deterministic fault injection for sweep execution.
+
+The fault-tolerant runner in :mod:`repro.sweep.runner` promises that the
+result store ends up byte-identical to a fault-free run no matter which
+workers crash, hang, or raise along the way.  That promise is only worth
+anything if it is *tested* against real failure modes, so this module gives
+tests and the CI chaos job a way to inject the three that matter — worker
+exceptions, hung workers, and hard worker death — deterministically:
+
+* A :class:`FaultPlan` decides, per ``(point key, attempt)``, whether to
+  inject and what.  Decisions are pure functions of the plan's ``seed`` and
+  the point key (sha256-derived, not Python's randomized ``hash``), so the
+  same plan injects the same faults in every process, at every worker
+  count, on every platform — the precondition for asserting byte-identical
+  stores under chaos.
+* :func:`maybe_inject` is the single hook the runner's
+  :func:`~repro.sweep.runner.execute_point` calls before doing any real
+  work.  It is a no-op unless a plan is active.
+* A plan is activated either in-process via :func:`install_plan` (tests) or
+  through the :data:`ENV_VAR` environment variable holding the plan as JSON
+  (the CI chaos job; inherited by pool workers under both the ``fork`` and
+  ``spawn`` start methods).
+
+Fatal faults (``hang``, ``death``) only manifest literally inside pool
+worker processes.  When the runner executes a point in the orchestrating
+process — single-worker runs, small inline shards, or the final
+graceful-degradation attempt — they are demoted to an
+:class:`InjectedFault` exception: killing or stalling the orchestrator is
+not a *worker* fault, and would take the flush frontier down with it.
+
+Every injected fault consumes one attempt, so a plan whose
+``max_faults_per_point`` is below the runner's retry budget is guaranteed
+to let every point eventually succeed — which is how the chaos CI job can
+demand a byte-identical final store.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import multiprocessing
+import os
+import time
+from dataclasses import dataclass, fields
+from typing import Any, Dict, Mapping, Optional, Tuple
+
+from repro.common.errors import ConfigurationError
+
+#: Environment variable read by :func:`active_plan`: a JSON object with
+#: :meth:`FaultPlan.from_dict` keys.  Environment wiring is what lets the
+#: CI chaos job inject faults into ``python -m repro.sweep run`` without a
+#: dedicated CLI flag, and what carries the plan into pool workers.
+ENV_VAR = "REPRO_FAULTS"
+
+#: Injection actions, in the priority order :meth:`FaultPlan.decide` maps
+#: its uniform draw onto.  ``FAULT_OK`` is only meaningful inside scripted
+#: action lists ("this attempt succeeds").
+FAULT_EXCEPTION = "exception"
+FAULT_HANG = "hang"
+FAULT_DEATH = "death"
+FAULT_OK = "ok"
+_ACTIONS = (FAULT_EXCEPTION, FAULT_HANG, FAULT_DEATH, FAULT_OK)
+
+#: Exit status used for injected hard worker death — distinctive enough to
+#: recognise in CI logs and process tables.
+DEATH_EXIT_CODE = 86
+
+
+class InjectedFault(RuntimeError):
+    """Raised by an injected ``exception`` fault (or a demoted fatal one).
+
+    Deliberately *not* a :class:`~repro.common.errors.ReproError`: injected
+    faults stand in for arbitrary defects in user code and plugins, which
+    the retry layer must survive without special-casing the library's own
+    exception hierarchy.
+    """
+
+
+def _unit(seed: int, key: str, attempt: int) -> float:
+    """Deterministic uniform draw in ``[0, 1)`` for one (point, attempt)."""
+    digest = hashlib.sha256(f"{seed}:{key}:{attempt}".encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "big") / 2.0**64
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A seeded, serializable schedule of faults to inject.
+
+    ``*_rate`` values are per-attempt probabilities (their sum must not
+    exceed 1).  ``max_faults_per_point`` caps how many *attempts* of one
+    point may be sabotaged: attempts beyond the cap always run clean, so a
+    runner allowed ``max_faults_per_point + 1`` attempts is guaranteed to
+    finish every point.  ``scripted`` pins exact per-attempt actions for
+    chosen point keys (tests targeting "kill attempt 1 of point X"), taking
+    precedence over the seeded draw; attempts past the end of a script run
+    clean.
+    """
+
+    seed: int = 0
+    exception_rate: float = 0.0
+    hang_rate: float = 0.0
+    death_rate: float = 0.0
+    max_faults_per_point: int = 2
+    hang_s: float = 30.0
+    scripted: Tuple[Tuple[str, Tuple[str, ...]], ...] = ()
+
+    def __post_init__(self) -> None:
+        if isinstance(self.scripted, Mapping):
+            normalized = tuple(
+                (key, tuple(actions)) for key, actions in self.scripted.items()
+            )
+        else:
+            normalized = tuple(
+                (key, tuple(actions)) for key, actions in self.scripted
+            )
+        object.__setattr__(self, "scripted", normalized)
+        for rate_name in ("exception_rate", "hang_rate", "death_rate"):
+            rate = getattr(self, rate_name)
+            if not 0.0 <= rate <= 1.0:
+                raise ConfigurationError(
+                    f"FaultPlan.{rate_name} must be in [0, 1], got {rate!r}"
+                )
+        total = self.exception_rate + self.hang_rate + self.death_rate
+        if total > 1.0:
+            raise ConfigurationError(
+                f"FaultPlan rates must sum to at most 1, got {total}"
+            )
+        if self.max_faults_per_point < 0:
+            raise ConfigurationError(
+                "FaultPlan.max_faults_per_point must be non-negative, "
+                f"got {self.max_faults_per_point}"
+            )
+        if self.hang_s < 0:
+            raise ConfigurationError(
+                f"FaultPlan.hang_s must be non-negative, got {self.hang_s}"
+            )
+        for key, actions in self.scripted:
+            for action in actions:
+                if action not in _ACTIONS:
+                    raise ConfigurationError(
+                        f"FaultPlan.scripted[{key!r}]: unknown action "
+                        f"{action!r}; valid: {list(_ACTIONS)}"
+                    )
+
+    # -- decisions --------------------------------------------------------
+    def decide(self, key: str, attempt: int) -> Optional[str]:
+        """Action to inject for ``attempt`` (1-based) of point ``key``.
+
+        Returns one of :data:`FAULT_EXCEPTION` / :data:`FAULT_HANG` /
+        :data:`FAULT_DEATH`, or ``None`` for a clean attempt.  Pure and
+        process-independent: the runner, the workers, and the tests all see
+        the same schedule.
+        """
+        if attempt < 1:
+            raise ConfigurationError(
+                f"FaultPlan.decide: attempt is 1-based, got {attempt}"
+            )
+        for scripted_key, actions in self.scripted:
+            if scripted_key == key:
+                if attempt <= len(actions) and actions[attempt - 1] != FAULT_OK:
+                    return actions[attempt - 1]
+                return None
+        if attempt > self.max_faults_per_point:
+            return None
+        draw = _unit(self.seed, key, attempt)
+        if draw < self.death_rate:
+            return FAULT_DEATH
+        if draw < self.death_rate + self.hang_rate:
+            return FAULT_HANG
+        if draw < self.death_rate + self.hang_rate + self.exception_rate:
+            return FAULT_EXCEPTION
+        return None
+
+    # -- serialization ----------------------------------------------------
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "seed": self.seed,
+            "exception_rate": self.exception_rate,
+            "hang_rate": self.hang_rate,
+            "death_rate": self.death_rate,
+            "max_faults_per_point": self.max_faults_per_point,
+            "hang_s": self.hang_s,
+            "scripted": {key: list(actions) for key, actions in self.scripted},
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "FaultPlan":
+        allowed = {f.name for f in fields(cls)}
+        unknown = sorted(set(data) - allowed)
+        if unknown:
+            raise ConfigurationError(
+                f"FaultPlan.from_dict: unknown key(s) {unknown}; "
+                f"valid keys: {sorted(allowed)}"
+            )
+        return cls(**dict(data))
+
+    def to_env(self) -> str:
+        """JSON form for the :data:`ENV_VAR` environment variable."""
+        return json.dumps(self.to_dict(), sort_keys=True)
+
+
+# -- activation -----------------------------------------------------------
+#: Plan installed in-process (takes precedence over the environment).
+_installed: Optional[FaultPlan] = None
+#: Memoized parse of the env var: ``(raw string, parsed plan)``.
+_env_cache: Tuple[Optional[str], Optional[FaultPlan]] = (None, None)
+
+
+def install_plan(plan: FaultPlan) -> None:
+    """Activate ``plan`` in this process (and ``fork`` children created
+    afterwards).  Use :data:`ENV_VAR` instead to reach ``spawn`` workers."""
+    global _installed
+    if not isinstance(plan, FaultPlan):
+        raise ConfigurationError(
+            f"install_plan expects a FaultPlan, got {type(plan).__name__}"
+        )
+    _installed = plan
+
+
+def clear_plan() -> None:
+    """Deactivate any in-process plan (the environment still applies)."""
+    global _installed
+    _installed = None
+
+
+def active_plan() -> Optional[FaultPlan]:
+    """The plan in effect: installed one first, then :data:`ENV_VAR`.
+
+    A malformed environment value raises :class:`ConfigurationError` — a
+    chaos harness that silently fails to arm would let a broken runner pass
+    its determinism gate.
+    """
+    if _installed is not None:
+        return _installed
+    raw = os.environ.get(ENV_VAR)
+    if not raw:
+        return None
+    global _env_cache
+    if _env_cache[0] == raw:
+        return _env_cache[1]
+    try:
+        data = json.loads(raw)
+    except json.JSONDecodeError as exc:
+        raise ConfigurationError(
+            f"{ENV_VAR} is not valid JSON: {exc}"
+        ) from exc
+    if not isinstance(data, dict):
+        raise ConfigurationError(
+            f"{ENV_VAR} must be a JSON object, got {type(data).__name__}"
+        )
+    plan = FaultPlan.from_dict(data)
+    _env_cache = (raw, plan)
+    return plan
+
+
+def maybe_inject(
+    key: str, attempt: int, fatal_ok: Optional[bool] = None
+) -> Optional[str]:
+    """Injection hook: act on the active plan's decision for this attempt.
+
+    * ``exception`` — raise :class:`InjectedFault`.
+    * ``hang`` — sleep ``hang_s`` seconds, then *continue normally* (a hung
+      worker that eventually wakes; the runner's per-point timeout decides
+      whether anyone is still listening).
+    * ``death`` — ``os._exit(DEATH_EXIT_CODE)``: no cleanup, no exception
+      propagation, exactly like an OOM kill or segfault.
+
+    ``fatal_ok`` gates the two fatal actions; by default they are allowed
+    only when running inside a child process (``multiprocessing``'s
+    ``parent_process`` is set).  In the orchestrating process both are
+    demoted to :class:`InjectedFault` so the frontier survives to handle
+    them.  Returns the action taken-and-survived (``"hang"`` after its
+    sleep) or ``None`` for a clean attempt.
+    """
+    plan = active_plan()
+    if plan is None:
+        return None
+    action = plan.decide(key, attempt)
+    if action is None:
+        return None
+    if fatal_ok is None:
+        fatal_ok = multiprocessing.parent_process() is not None
+    if action == FAULT_DEATH:
+        if fatal_ok:
+            os._exit(DEATH_EXIT_CODE)
+            return FAULT_DEATH  # only reachable with a stubbed os._exit
+        raise InjectedFault(
+            f"injected worker death (demoted to exception in-process) "
+            f"for point {key} attempt {attempt}"
+        )
+    if action == FAULT_HANG:
+        if fatal_ok:
+            time.sleep(plan.hang_s)
+            return FAULT_HANG
+        raise InjectedFault(
+            f"injected hang (demoted to exception in-process) "
+            f"for point {key} attempt {attempt}"
+        )
+    raise InjectedFault(
+        f"injected exception for point {key} attempt {attempt}"
+    )
+
+
+__all__ = [
+    "DEATH_EXIT_CODE",
+    "ENV_VAR",
+    "FAULT_DEATH",
+    "FAULT_EXCEPTION",
+    "FAULT_HANG",
+    "FAULT_OK",
+    "FaultPlan",
+    "InjectedFault",
+    "active_plan",
+    "clear_plan",
+    "install_plan",
+    "maybe_inject",
+]

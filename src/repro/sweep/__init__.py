@@ -6,7 +6,9 @@ methodology at scale:
 * :mod:`repro.sweep.grid` — declarative :class:`SweepSpec` expanded into
   content-addressed :class:`ExperimentPoint` grids;
 * :mod:`repro.sweep.runner` — :func:`run_sweep` shards points over worker
-  processes with deterministic results and per-point timing;
+  processes with deterministic results, incremental expansion-order
+  flushing, and :class:`RetryPolicy`-driven retry/timeout/backoff fault
+  handling (see :mod:`repro.faults` for the matching injection harness);
 * :mod:`repro.sweep.store` — append-only JSON-lines :class:`ResultStore`
   keyed by content hash, giving free re-runs and resumable sweeps;
 * :mod:`repro.sweep.report` — paper-style IPC / communication tables as
@@ -16,12 +18,23 @@ methodology at scale:
 
 from repro.sweep.grid import ExperimentPoint, SweepSpec, paper_spec, smoke_spec
 from repro.sweep.report import build_tables, load_rows, render_markdown, write_report
-from repro.sweep.runner import SweepSummary, default_workers, execute_point, run_sweep
+from repro.sweep.runner import (
+    FailureRecord,
+    RetryPolicy,
+    SweepInterrupted,
+    SweepSummary,
+    default_workers,
+    execute_point,
+    run_sweep,
+)
 from repro.sweep.store import ResultStore
 
 __all__ = [
     "ExperimentPoint",
+    "FailureRecord",
     "ResultStore",
+    "RetryPolicy",
+    "SweepInterrupted",
     "SweepSpec",
     "SweepSummary",
     "build_tables",

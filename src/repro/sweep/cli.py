@@ -2,13 +2,19 @@
 
 Subcommands::
 
-    run     expand a spec (JSON file, --smoke, or --paper) and compute every
-            point not already in the store, sharded across worker processes
-    report  aggregate the store into paper-style markdown + CSV tables
-    list    print one line per stored result (or the registered mixes)
+    run      expand a spec (JSON file, --smoke, or --paper) and compute every
+             point not already in the store, sharded across worker processes
+             with retry/timeout/backoff fault handling
+    report   aggregate the store into paper-style markdown + CSV tables
+    list     print one line per stored result (or the registered mixes)
+    compact  rewrite the store with one line per live key (last-wins)
 
 The store is a JSON-lines file (default ``sweeps/store.jsonl``); re-running
-any spec against the same store only computes missing points.
+any spec against the same store only computes missing points.  Completed
+records are flushed incrementally in expansion order, so an interrupted or
+crashed run keeps its finished prefix — re-run the same command to resume
+(exit status 130 marks an interrupt, 1 a run with permanently-failed
+points).
 """
 
 from __future__ import annotations
@@ -22,7 +28,12 @@ from typing import List, Optional
 from repro.common.errors import ReproError
 from repro.sweep.grid import SweepSpec, paper_spec, smoke_spec
 from repro.sweep.report import build_tables, load_rows, write_report
-from repro.sweep.runner import default_workers, run_sweep
+from repro.sweep.runner import (
+    RetryPolicy,
+    SweepInterrupted,
+    default_workers,
+    run_sweep,
+)
 from repro.sweep.store import ResultStore
 from repro.workloads import list_mixes
 
@@ -73,13 +84,43 @@ def _cmd_run(args: argparse.Namespace) -> int:
         print(f"store: recovered truncated tail "
               f"({store.recovered_bytes} bytes dropped)")
     print(f"spec {spec.name!r}: {len(points)} points -> {args.store}")
-    summary = run_sweep(
-        points, store,
-        workers=args.workers,
-        force=args.force,
-        log=print if args.verbose else None,
+    policy = RetryPolicy(
+        max_attempts=args.retries + 1,
+        backoff_s=args.backoff,
+        timeout_s=args.timeout,
     )
+    try:
+        summary = run_sweep(
+            points, store,
+            workers=args.workers,
+            force=args.force,
+            log=print if args.verbose else None,
+            policy=policy,
+        )
+    except SweepInterrupted as exc:
+        print(exc.summary.describe())
+        print(
+            "interrupted — finished points are flushed to the store; "
+            "re-run the same command to resume",
+            file=sys.stderr,
+        )
+        return 130
     print(summary.describe())
+    if summary.failures:
+        for failure in summary.failures.values():
+            print(
+                f"FAILED {failure.label}: {failure.error}: "
+                f"{failure.message} ({failure.attempts} attempt(s), "
+                f"{failure.elapsed_s:.2f}s)",
+                file=sys.stderr,
+            )
+        print(
+            f"{len(summary.failures)} point(s) permanently failed; the "
+            "store keeps the clean prefix before the first failure — "
+            "re-run the same command to resume once the cause is fixed",
+            file=sys.stderr,
+        )
+        return 1
     return 0
 
 
@@ -98,6 +139,19 @@ def _cmd_report(args: argparse.Namespace) -> int:
             print()
     for name in sorted(paths):
         print(f"wrote {paths[name]}")
+    return 0
+
+
+def _cmd_compact(args: argparse.Namespace) -> int:
+    store = ResultStore(args.store)
+    if store.recovered_bytes:
+        print(f"store: dropping truncated tail "
+              f"({store.recovered_bytes} bytes)")
+    dropped = store.compact()
+    print(
+        f"compacted {args.store}: {len(store)} live record(s), "
+        f"{dropped} shadowed duplicate line(s) dropped"
+    )
     return 0
 
 
@@ -141,7 +195,23 @@ def build_parser() -> argparse.ArgumentParser:
     run_p.add_argument("--workers", type=int, default=None,
                        help=f"worker processes (default {default_workers()})")
     run_p.add_argument("--force", action="store_true",
-                       help="recompute cached points")
+                       help="recompute cached points (records are appended "
+                            "again, last-wins on reload; run `compact` to "
+                            "deduplicate the store file afterwards)")
+    run_p.add_argument("--retries", type=int, default=2,
+                       help="retries per failing point beyond the first "
+                            "attempt (default 2); the final permitted "
+                            "attempt runs in-process as graceful "
+                            "degradation")
+    run_p.add_argument("--timeout", type=float, default=None,
+                       help="per-point timeout in seconds for "
+                            "pool-dispatched attempts (default: none); a "
+                            "timed-out point is retried and its hung or "
+                            "dead worker pool is replaced")
+    run_p.add_argument("--backoff", type=float, default=0.1,
+                       help="base backoff seconds before a retry, doubling "
+                            "per further attempt (default 0.1; "
+                            "deterministic, no jitter)")
     run_p.add_argument("--energy", action="store_true",
                        help="enable the per-event energy model (default "
                             "costs) on every point; energy-enabled points "
@@ -160,6 +230,20 @@ def build_parser() -> argparse.ArgumentParser:
     list_p.add_argument("--mixes", action="store_true",
                         help="list registered workload mixes instead")
     list_p.set_defaults(func=_cmd_list)
+
+    compact_p = sub.add_parser(
+        "compact",
+        help="rewrite the store with one line per live key (last-wins)",
+        description="Deduplicate the append-only store file.  `run --force` "
+                    "re-runs append a fresh record for every recomputed "
+                    "key; on load the *last* appended record for a key "
+                    "wins, and compaction rewrites the file keeping "
+                    "exactly that last-wins view — shadowed duplicate "
+                    "lines and any recovered truncated tail are dropped, "
+                    "live results are never discarded.",
+    )
+    compact_p.add_argument("--store", default=DEFAULT_STORE)
+    compact_p.set_defaults(func=_cmd_compact)
     return parser
 
 
@@ -170,6 +254,11 @@ def main(argv: Optional[List[str]] = None) -> int:
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
+    except KeyboardInterrupt:
+        # Ctrl-C outside run_sweep's managed window (expansion, reporting,
+        # compaction) — nothing partial to save, just exit convention 130.
+        print("interrupted", file=sys.stderr)
+        return 130
     except BrokenPipeError:
         # stdout went away (e.g. `... list | head`); exit quietly.
         try:

@@ -97,11 +97,19 @@ class ExperimentPoint:
         """Content hash identifying this point in the result store.
 
         Folds in :data:`ENGINE_VERSION` so results computed by an older
-        timing model are cache *misses*, never silently reused.
+        timing model are cache *misses*, never silently reused.  Memoized
+        per instance (all fields are frozen): the runner consults keys on
+        every dedup, cache-hit, dispatch, and frontier-flush step, and
+        re-hashing the full nested config each time is pure waste.
         """
-        return content_digest(
+        cached = self.__dict__.get("_key")
+        if cached is not None and cached[0] == ENGINE_VERSION:
+            return cached[1]
+        digest = content_digest(
             {"point": self.to_dict(), "engine_version": ENGINE_VERSION}, 24
         )
+        object.__setattr__(self, "_key", (ENGINE_VERSION, digest))
+        return digest
 
     def label(self) -> str:
         """Short human-readable identity for logs and progress output."""

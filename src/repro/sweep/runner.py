@@ -1,18 +1,45 @@
-"""Sharded execution of experiment points with store-backed caching.
+"""Fault-tolerant sharded execution of experiment points.
 
 :func:`run_sweep` takes expanded :class:`~repro.sweep.grid.ExperimentPoint`
 lists, skips every point whose key is already in the
-:class:`~repro.sweep.store.ResultStore` (a *cache hit*), shards the rest
-across ``multiprocessing`` workers, and appends the computed records to the
-store **in expansion order** — never completion order — so identical sweeps
-yield byte-identical stores regardless of worker count or scheduling.
+:class:`~repro.sweep.store.ResultStore` (a *cache hit*), and dispatches the
+rest to ``multiprocessing`` workers point by point.  Completions arrive in
+whatever order the workers finish; an **expansion-order flush frontier**
+buffers out-of-order results and appends each record the moment every
+earlier point has been appended, so
+
+* partial progress is durable within moments of being computed — a crash
+  at point N of M keeps the N-1 finished prefix on disk, and
+* the store's bytes are identical to a single-process fault-free run at
+  any worker count, failure pattern, or interrupt point: what reaches the
+  file is always an expansion-order prefix of the full sweep, and a re-run
+  resumes exactly where that prefix ends via content-key cache hits.
+
+Failures are handled per point by a :class:`RetryPolicy`: failed attempts
+retry with deterministic exponential backoff, a per-point timeout detects
+hung *and* hard-died workers (a task whose worker was killed never
+completes — the timeout is its obituary), a timed-out pool is replaced
+wholesale (the only safe recovery ``multiprocessing.Pool`` allows), and
+the final permitted attempt runs in-process as graceful degradation so a
+pathological pool cannot starve a point.  A point that exhausts its
+attempts becomes a :class:`FailureRecord` in :class:`SweepSummary` —
+structured provenance (attempts, error class, elapsed) that never enters
+the store — and blocks the frontier at its expansion index so the
+prefix-layout guarantee survives even permanent failures.
+
+SIGINT/SIGTERM tear the pool down (terminate + join — no leaked workers),
+leave the frontier's flushed prefix on disk, and surface as
+:class:`SweepInterrupted` carrying the partial summary; re-running the
+same sweep resumes from the stored prefix.
 
 Determinism: a point's simulation depends only on ``(config, mix,
 n_instructions, seed)`` — trace generation derives its stream from the
 point's own seed via :func:`repro.common.rng.spawn_rng` and the kernel is
-seedless — so sharding cannot change results, only wall-clock time.
-Per-point wall-clock timings are returned in :class:`SweepSummary` (and
-deliberately kept out of the store, which must stay reproducible).
+seedless — so scheduling, retries, and failure order cannot change
+results, only wall-clock time.  :mod:`repro.faults` piggybacks on
+:func:`execute_point` to inject worker exceptions, hangs, and hard deaths
+deterministically; the chaos CI job uses it to prove the byte-identity
+claim above instead of merely asserting it.
 
 Each worker process keeps two warm caches: the LRU trace memo here (a grid
 that varies only machine config reuses one generated trace for all its
@@ -24,13 +51,17 @@ share one compiled kernel).  Neither affects results — only wall-clock.
 from __future__ import annotations
 
 import multiprocessing
+import signal
+import threading
 import time
 from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
+from repro.common.errors import ConfigurationError, ReproError
 from repro.engine.pipeline import Pipeline, resolve_kernel_variant
 from repro.engine.trace import Trace
+from repro.faults import maybe_inject
 from repro.sweep.grid import ExperimentPoint
 from repro.sweep.store import ResultStore
 from repro.workloads import (
@@ -47,6 +78,11 @@ MIN_POINTS_PER_WORKER = 2
 
 #: Per-process bound on memoized traces (see :func:`_cached_trace`).
 TRACE_CACHE_SIZE = 8
+
+#: Sleep between dispatch-loop iterations while results are outstanding.
+#: Small enough that flush latency is invisible next to point runtimes,
+#: large enough that the orchestrator does not busy-spin.
+_POLL_INTERVAL_S = 0.01
 
 #: ``(mix_name, n_instructions, seed) -> (mix_definition, trace)``.
 #: Process-global on purpose: a grid that varies only the config re-uses one
@@ -108,15 +144,21 @@ def execute_point(payload: Dict[str, Any]) -> Tuple[Dict[str, Any], float]:
     boundaries under any start method.  ``payload`` is
     :meth:`ExperimentPoint.to_dict` output, optionally with a
     ``"_mix_definition"`` entry (see :func:`_payload_for`) registered here
-    if this interpreter does not know the mix yet.
+    if this interpreter does not know the mix yet, and a ``"_attempt"``
+    counter (1-based) identifying which delivery attempt this is.
     """
     t0 = time.perf_counter()
     data = dict(payload)
     mix_definition = data.pop("_mix_definition", None)
     kernel_variant = data.pop("_kernel_variant", None)
+    attempt = data.pop("_attempt", 1)
     if mix_definition is not None and mix_definition.name not in MIX_REGISTRY:
         register_mix(mix_definition)
     point = ExperimentPoint.from_dict(data)
+    # Fault-injection hook, armed only when a repro.faults plan is active.
+    # Placed before any real work so an injected death or hang costs the
+    # runner a whole attempt — the honest worst case.
+    maybe_inject(point.key(), attempt)
     trace = _cached_trace(point.mix, point.n_instructions, point.seed)
     record = Pipeline(point.config, kernel_variant=kernel_variant).run_record(trace)
     # run_record names the kernel variant that computed it (provenance for
@@ -127,6 +169,67 @@ def execute_point(payload: Dict[str, Any]) -> Tuple[Dict[str, Any], float]:
     record["key"] = point.key()
     record["point"] = point.to_dict()
     return record, time.perf_counter() - t0
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How the runner treats a point whose attempt fails, hangs, or dies.
+
+    ``max_attempts`` bounds deliveries per point (1 = no retries).
+    ``backoff_s`` is the pause before the second attempt, doubling for each
+    further one — deterministic, no jitter, so chaos runs are exactly
+    reproducible.  ``timeout_s``, when set, bounds each pool-dispatched
+    attempt's wall-clock; a timed-out attempt is charged to the point and
+    its worker pool is replaced (a hung or killed worker cannot be reaped
+    individually).  Timeouts are not enforced for in-process attempts —
+    the orchestrator cannot interrupt itself safely.
+    """
+
+    max_attempts: int = 3
+    backoff_s: float = 0.1
+    timeout_s: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ConfigurationError(
+                f"RetryPolicy.max_attempts must be >= 1, got {self.max_attempts}"
+            )
+        if self.backoff_s < 0:
+            raise ConfigurationError(
+                f"RetryPolicy.backoff_s must be non-negative, got {self.backoff_s}"
+            )
+        if self.timeout_s is not None and self.timeout_s <= 0:
+            raise ConfigurationError(
+                f"RetryPolicy.timeout_s must be positive or None, "
+                f"got {self.timeout_s}"
+            )
+
+    def backoff_for(self, failed_attempts: int) -> float:
+        """Backoff before attempt ``failed_attempts + 1`` (exponential)."""
+        return self.backoff_s * (2.0 ** (failed_attempts - 1))
+
+
+@dataclass
+class FailureRecord:
+    """Provenance of one permanently-failed point (summary-only: failures
+    never enter the result store, which holds completed records alone)."""
+
+    key: str
+    label: str
+    attempts: int
+    error: str
+    message: str
+    elapsed_s: float
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "key": self.key,
+            "label": self.label,
+            "attempts": self.attempts,
+            "error": self.error,
+            "message": self.message,
+            "elapsed_s": self.elapsed_s,
+        }
 
 
 @dataclass
@@ -144,6 +247,17 @@ class SweepSummary:
     #: provenance: the variant never enters the result store (both variants
     #: produce identical records by contract).
     kernel_variant: str = ""
+    #: ``point key -> FailureRecord`` for points that exhausted their retry
+    #: budget.  Summary-only, like timings: the store must stay a clean
+    #: expansion-order prefix of successful records.
+    failures: Dict[str, FailureRecord] = field(default_factory=dict)
+    #: Points computed successfully but *not* appended because the flush
+    #: frontier was blocked by an earlier failed or interrupted point.
+    #: They are recomputed (or cache-missed back in) on the next run.
+    n_discarded: int = 0
+    #: True when the run was cut short by SIGINT/SIGTERM; the summary then
+    #: arrives attached to a :class:`SweepInterrupted`.
+    interrupted: bool = False
 
     @property
     def cache_hit_rate(self) -> float:
@@ -157,11 +271,340 @@ class SweepSummary:
                 f"; slowest point {self.timings[worst_key]*1e3:.0f} ms"
             )
         variant = f" [{self.kernel_variant}]" if self.kernel_variant else ""
+        tail = ""
+        if self.failures:
+            tail += f"; {len(self.failures)} FAILED"
+        if self.n_discarded:
+            tail += f"; {self.n_discarded} computed-but-unflushed"
+        head = "interrupted: " if self.interrupted else ""
         return (
-            f"{self.n_points} points: {self.n_cached} cached, "
+            f"{head}{self.n_points} points: {self.n_cached} cached, "
             f"{self.n_computed} computed on {self.n_workers} worker(s)"
-            f"{variant} in {self.elapsed_s:.2f}s{slowest}"
+            f"{variant} in {self.elapsed_s:.2f}s{slowest}{tail}"
         )
+
+
+class SweepInterrupted(ReproError):
+    """SIGINT/SIGTERM ended the sweep early; the flushed prefix is durable.
+
+    Carries the partial :class:`SweepSummary` so callers can report what
+    was saved before exiting.  Re-running the same sweep resumes from the
+    stored prefix via cache hits.
+    """
+
+    def __init__(self, summary: "SweepSummary") -> None:
+        super().__init__(summary.describe())
+        self.summary = summary
+
+
+class _PointTask:
+    """Mutable per-point execution state inside one :func:`run_sweep`."""
+
+    __slots__ = (
+        "index", "key", "point", "payload",
+        "attempts", "elapsed", "ready_at", "async_result", "deadline",
+    )
+
+    def __init__(self, index: int, key: str, point: ExperimentPoint,
+                 payload: Dict[str, Any]) -> None:
+        self.index = index
+        self.key = key
+        self.point = point
+        self.payload = payload
+        self.attempts = 0          # settled (finished or charged) attempts
+        self.elapsed = 0.0         # cumulative wall-clock across attempts
+        self.ready_at = 0.0        # monotonic time when dispatchable again
+        self.async_result = None   # in-flight multiprocessing AsyncResult
+        self.deadline = None       # monotonic timeout for the in-flight try
+
+
+def _worker_init() -> None:
+    """Pool workers ignore SIGINT: a terminal Ctrl-C reaches the whole
+    process group, but only the orchestrator may act on it — it then
+    terminates the pool deterministically, so no workers are leaked and
+    no worker dies mid-anything it shouldn't.  SIGTERM goes back to the
+    default action: forked workers inherit the parent's TERM->interrupt
+    handler (see :func:`_convert_sigterm`), and a worker that turned the
+    pool's own ``terminate()`` into KeyboardInterrupt would die noisily
+    — or, caught mid-``queue.get`` holding the queue lock, wedge the
+    teardown."""
+    signal.signal(signal.SIGINT, signal.SIG_IGN)
+    signal.signal(signal.SIGTERM, signal.SIG_DFL)
+
+
+def _convert_sigterm() -> Callable[[], None]:
+    """Route SIGTERM through the KeyboardInterrupt path for the duration
+    of a sweep, so a service manager's TERM flushes the frontier and tears
+    the pool down exactly like Ctrl-C.  Returns a restore callable; no-op
+    when not on the main thread (signal API restriction)."""
+    if threading.current_thread() is not threading.main_thread():
+        return lambda: None
+
+    def _raise_interrupt(signum: int, frame: Any) -> None:
+        raise KeyboardInterrupt()
+
+    try:
+        previous = signal.signal(signal.SIGTERM, _raise_interrupt)
+    except ValueError:  # pragma: no cover - embedders with odd threading
+        return lambda: None
+    return lambda: signal.signal(signal.SIGTERM, previous)
+
+
+class _FrontierExecutor:
+    """Executes pending points under a :class:`RetryPolicy`, appending
+    completed records to the store in expansion order as the frontier
+    advances (see the module docstring for the layout guarantee)."""
+
+    def __init__(
+        self,
+        tasks: List[_PointTask],
+        store: ResultStore,
+        policy: RetryPolicy,
+        n_workers: int,
+        use_pool: bool,
+        say: Callable[[str], None],
+    ) -> None:
+        self.tasks = tasks
+        self.store = store
+        self.policy = policy
+        self.n_workers = n_workers
+        self.use_pool = use_pool
+        self.say = say
+        self.pool: Optional[multiprocessing.pool.Pool] = None
+        self.buffer: Dict[int, Tuple[Dict[str, Any], float]] = {}
+        self.next_flush = 0
+        self.timings: Dict[str, float] = {}
+        self.failures: Dict[str, FailureRecord] = {}
+        self.failed_indexes: set = set()
+        self.n_flushed = 0
+        self.n_discarded = 0
+
+    # -- lifecycle --------------------------------------------------------
+    def run(self) -> None:
+        try:
+            if self.use_pool:
+                self._run_pool()
+            else:
+                self._run_inline()
+        finally:
+            self._shutdown_pool()
+            self._flush()
+            self.n_discarded = len(self.buffer)
+            if self.n_discarded:
+                self.say(
+                    f"  {self.n_discarded} computed record(s) past the "
+                    "blocked frontier were not persisted; they will be "
+                    "recomputed on the next run"
+                )
+
+    def _spawn_pool(self) -> None:
+        self.pool = multiprocessing.Pool(
+            processes=self.n_workers, initializer=_worker_init
+        )
+
+    def _shutdown_pool(self) -> None:
+        if self.pool is not None:
+            self.pool.terminate()
+            self.pool.join()
+            self.pool = None
+
+    # -- frontier ---------------------------------------------------------
+    def _flush(self) -> None:
+        """Append every buffered record the frontier has reached."""
+        while self.next_flush < len(self.tasks):
+            if self.next_flush in self.failed_indexes:
+                # A permanently-failed point blocks the frontier: appending
+                # anything past it would leave a gap that a later resume
+                # could only fill out of order, breaking the byte-layout
+                # guarantee (the store must always be an expansion-order
+                # prefix of the fault-free sweep).
+                break
+            item = self.buffer.pop(self.next_flush, None)
+            if item is None:
+                break
+            record, elapsed = item
+            self.store.append(record)
+            task = self.tasks[self.next_flush]
+            self.timings[task.key] = elapsed
+            self.n_flushed += 1
+            self.say(f"  done {task.point.label()} ({elapsed*1e3:.0f} ms)")
+            self.next_flush += 1
+
+    def _complete(self, task: _PointTask, record: Dict[str, Any],
+                  elapsed: float) -> None:
+        self.buffer[task.index] = (record, elapsed)
+        self._flush()
+
+    def _fail(self, task: _PointTask, exc: BaseException) -> None:
+        self.failed_indexes.add(task.index)
+        self.failures[task.key] = FailureRecord(
+            key=task.key,
+            label=task.point.label(),
+            attempts=task.attempts,
+            error=type(exc).__name__,
+            message=str(exc),
+            elapsed_s=task.elapsed,
+        )
+        self.say(
+            f"  FAILED {task.point.label()} after {task.attempts} "
+            f"attempt(s): {type(exc).__name__}: {exc}"
+        )
+
+    def _on_error(self, task: _PointTask, exc: BaseException,
+                  requeue: List[_PointTask]) -> None:
+        """One attempt of ``task`` failed; retry with backoff or give up."""
+        if task.attempts >= self.policy.max_attempts:
+            self._fail(task, exc)
+            return
+        delay = self.policy.backoff_for(task.attempts)
+        task.ready_at = time.monotonic() + delay
+        self.say(
+            f"  retry {task.point.label()}: attempt "
+            f"{task.attempts}/{self.policy.max_attempts} failed "
+            f"({type(exc).__name__}: {exc}); backing off {delay:.2f}s"
+        )
+        requeue.append(task)
+
+    # -- inline execution (no pool) ---------------------------------------
+    def _run_inline(self) -> None:
+        for task in self.tasks:
+            while True:
+                if task.ready_at:
+                    time.sleep(max(0.0, task.ready_at - time.monotonic()))
+                attempt = task.attempts + 1
+                t0 = time.perf_counter()
+                try:
+                    record, elapsed = execute_point(
+                        dict(task.payload, _attempt=attempt)
+                    )
+                except KeyboardInterrupt:
+                    raise
+                except Exception as exc:
+                    task.attempts = attempt
+                    task.elapsed += time.perf_counter() - t0
+                    requeue: List[_PointTask] = []
+                    self._on_error(task, exc, requeue)
+                    if not requeue:
+                        break
+                else:
+                    task.attempts = attempt
+                    task.elapsed += elapsed
+                    self._complete(task, record, elapsed)
+                    break
+
+    # -- pooled execution -------------------------------------------------
+    def _dispatch(self, task: _PointTask,
+                  in_flight: Dict[int, _PointTask]) -> None:
+        payload = dict(task.payload, _attempt=task.attempts + 1)
+        assert self.pool is not None
+        task.async_result = self.pool.apply_async(execute_point, (payload,))
+        task.deadline = (
+            time.monotonic() + self.policy.timeout_s
+            if self.policy.timeout_s is not None
+            else None
+        )
+        in_flight[task.index] = task
+
+    def _attempt_in_process(self, task: _PointTask) -> None:
+        """Graceful degradation: the final permitted attempt runs in the
+        orchestrating process, immune to worker death and pool state."""
+        attempt = task.attempts + 1
+        self.say(
+            f"  last attempt for {task.point.label()} runs in-process "
+            "(graceful degradation)"
+        )
+        t0 = time.perf_counter()
+        try:
+            record, elapsed = execute_point(
+                dict(task.payload, _attempt=attempt)
+            )
+        except KeyboardInterrupt:
+            raise
+        except Exception as exc:
+            task.attempts = attempt
+            task.elapsed += time.perf_counter() - t0
+            self._fail(task, exc)
+        else:
+            task.attempts = attempt
+            task.elapsed += elapsed
+            self._complete(task, record, elapsed)
+
+    def _run_pool(self) -> None:
+        self._spawn_pool()
+        waiting = list(self.tasks)
+        in_flight: Dict[int, _PointTask] = {}
+        while waiting or in_flight:
+            now = time.monotonic()
+            # 1. Dispatch tasks whose backoff has elapsed, lowest expansion
+            #    index first so the frontier advances soonest, capped at one
+            #    in-flight task per worker: a dispatched task then starts on
+            #    a free worker immediately, which is what lets ``deadline``
+            #    measure actual execution instead of queue time (dispatching
+            #    the whole shard at once would start every timeout clock up
+            #    front and falsely expire tasks still waiting in the pool's
+            #    queue).  A task on its final attempt runs in-process
+            #    instead (see above).
+            waiting.sort(key=lambda t: t.index)
+            still_waiting: List[_PointTask] = []
+            for task in waiting:
+                if task.ready_at > now:
+                    still_waiting.append(task)
+                elif task.attempts > 0 and \
+                        task.attempts + 1 >= self.policy.max_attempts:
+                    self._attempt_in_process(task)
+                elif len(in_flight) < self.n_workers:
+                    self._dispatch(task, in_flight)
+                else:
+                    still_waiting.append(task)
+            waiting = still_waiting
+            # 2. Collect completions and worker exceptions; note timeouts.
+            now = time.monotonic()
+            timed_out: List[_PointTask] = []
+            for index, task in list(in_flight.items()):
+                assert task.async_result is not None
+                if task.async_result.ready():
+                    del in_flight[index]
+                    task.attempts += 1
+                    try:
+                        record, elapsed = task.async_result.get()
+                    except Exception as exc:
+                        self._on_error(task, exc, waiting)
+                    else:
+                        task.elapsed += elapsed
+                        self._complete(task, record, elapsed)
+                elif task.deadline is not None and now >= task.deadline:
+                    timed_out.append(task)
+            # 3. Timeouts: the worker holding the task is hung or dead
+            #    (a killed worker's task never completes — this is how
+            #    hard death is detected).  multiprocessing.Pool cannot
+            #    reap one worker, so the pool is replaced wholesale and
+            #    innocent in-flight tasks are re-dispatched without being
+            #    charged an attempt.
+            if timed_out:
+                assert self.policy.timeout_s is not None
+                for task in timed_out:
+                    del in_flight[task.index]
+                    task.attempts += 1
+                    task.elapsed += self.policy.timeout_s
+                    exc = TimeoutError(
+                        f"no result within {self.policy.timeout_s:.1f}s "
+                        "(worker hung or died)"
+                    )
+                    self._on_error(task, exc, waiting)
+                collateral = sorted(in_flight.values(),
+                                    key=lambda t: t.index)
+                in_flight.clear()
+                self.say(
+                    "  pool replaced after timeout "
+                    f"({len(collateral)} in-flight task(s) re-dispatched)"
+                )
+                self._shutdown_pool()
+                self._spawn_pool()
+                for task in collateral:
+                    task.ready_at = 0.0
+                    waiting.append(task)
+            if waiting or in_flight:
+                time.sleep(_POLL_INTERVAL_S)
 
 
 def run_sweep(
@@ -171,19 +614,31 @@ def run_sweep(
     force: bool = False,
     log: Optional[Callable[[str], None]] = None,
     kernel_variant: Optional[str] = None,
+    policy: Optional[RetryPolicy] = None,
 ) -> SweepSummary:
     """Compute every point not already in ``store``; return a summary.
 
     ``force=True`` recomputes cached points (their records are appended
-    again; last-wins on reload).  ``workers`` defaults to
+    again; last-wins on reload — ``python -m repro.sweep compact``
+    deduplicates the file afterwards).  ``workers`` defaults to
     :func:`default_workers`; the pool is skipped entirely when the pending
     shard is too small to amortise process startup.  ``kernel_variant``
     selects the simulation kernel per worker (see
     :class:`repro.engine.Pipeline`); both variants produce identical
-    records, so the store contents do not depend on it.
+    records, so the store contents do not depend on it.  ``policy``
+    configures retry/timeout/backoff handling (default: three attempts,
+    0.1 s base backoff, no timeout).
+
+    Completed records are appended incrementally in expansion order (the
+    flush frontier), so partial progress survives crashes and interrupts;
+    SIGINT/SIGTERM raise :class:`SweepInterrupted` carrying the partial
+    summary after the pool is torn down.  Points that exhaust their retry
+    budget are reported in :attr:`SweepSummary.failures` and block the
+    frontier at their expansion index.
     """
     t0 = time.perf_counter()
     n_workers = default_workers() if workers is None else max(1, int(workers))
+    retry_policy = RetryPolicy() if policy is None else policy
     say = log if log is not None else (lambda _msg: None)
 
     # Deduplicate while preserving expansion order: a grid with repeated
@@ -204,41 +659,60 @@ def run_sweep(
         f"{len(pending)} to compute")
 
     timings: Dict[str, float] = {}
+    failures: Dict[str, FailureRecord] = {}
+    n_computed = 0
+    n_discarded = 0
+    interrupted = False
     if pending:
-        payloads = [_payload_for(point) for _key, point in pending]
-        if kernel_variant is not None:
-            for payload in payloads:
+        tasks = []
+        for index, (key, point) in enumerate(pending):
+            payload = _payload_for(point)
+            if kernel_variant is not None:
                 payload["_kernel_variant"] = kernel_variant
+            tasks.append(_PointTask(index, key, point, payload))
         use_pool = (
             n_workers > 1
             and len(pending) >= n_workers * MIN_POINTS_PER_WORKER
         )
-        if use_pool:
-            with multiprocessing.Pool(processes=n_workers) as pool:
-                outcomes = pool.map(execute_point, payloads, chunksize=1)
-        else:
-            outcomes = [execute_point(payload) for payload in payloads]
-        # Append in expansion order — map() already preserves it — so the
-        # store bytes do not depend on scheduling.
-        for (key, point), (record, elapsed) in zip(pending, outcomes):
-            store.append(record)
-            timings[key] = elapsed
-            say(f"  done {point.label()} ({elapsed*1e3:.0f} ms)")
+        executor = _FrontierExecutor(
+            tasks, store, retry_policy, n_workers, use_pool, say
+        )
+        restore_sigterm = _convert_sigterm()
+        try:
+            executor.run()
+        except KeyboardInterrupt:
+            interrupted = True
+            say("  interrupted: frontier flushed, worker pool torn down")
+        finally:
+            restore_sigterm()
+        timings = executor.timings
+        failures = executor.failures
+        n_computed = executor.n_flushed
+        n_discarded = executor.n_discarded
 
-    return SweepSummary(
+    summary = SweepSummary(
         n_points=len(unique),
         n_cached=n_cached,
-        n_computed=len(pending),
+        n_computed=n_computed,
         n_workers=n_workers,
         elapsed_s=time.perf_counter() - t0,
         timings=timings,
         kernel_variant=resolve_kernel_variant(kernel_variant),
+        failures=failures,
+        n_discarded=n_discarded,
+        interrupted=interrupted,
     )
+    if interrupted:
+        raise SweepInterrupted(summary)
+    return summary
 
 
 __all__ = [
     "MIN_POINTS_PER_WORKER",
     "TRACE_CACHE_SIZE",
+    "FailureRecord",
+    "RetryPolicy",
+    "SweepInterrupted",
     "SweepSummary",
     "clear_trace_cache",
     "default_workers",

@@ -41,6 +41,10 @@ class ResultStore:
         self._records: Dict[str, Dict[str, Any]] = {}
         #: Bytes of truncated tail detected by the last load.
         self.recovered_bytes = 0
+        #: Physical record lines in the file (appends included), which can
+        #: exceed ``len(self)`` when ``force=True`` re-runs appended
+        #: duplicate records for a key; :meth:`compact` reconciles the two.
+        self.physical_records = 0
         # Byte offset the file must be cut back to before the next append.
         # Repair is deferred to append() so that purely reading a store
         # (report/list) never mutates the file — a concurrent writer may be
@@ -60,14 +64,28 @@ class ResultStore:
         """
         self._records = {}
         self.recovered_bytes = 0
+        self.physical_records = 0
         self._repair_offset = None
         if not os.path.exists(self.path):
             return self
         with open(self.path, "rb") as fh:
             raw = fh.read()
+        total = len(raw)
+        body = raw
+        if body and not body.endswith(b"\n"):
+            # A crash after writing a record's bytes but before its newline
+            # leaves a final line that may *parse* as a complete record —
+            # but it is still an unfinished append: taking it live would
+            # make the next append concatenate onto the unterminated line
+            # and corrupt the file.  Treat everything after the last
+            # newline as a recoverable tail, whatever it contains.
+            cut = body.rfind(b"\n") + 1
+            self.recovered_bytes = total - cut
+            self._repair_offset = cut
+            body = body[:cut]
         offset = 0
         entries: List[Tuple[int, bytes]] = []  # (start offset, line bytes)
-        for line in raw.split(b"\n"):
+        for line in body.split(b"\n"):
             entries.append((offset, line))
             offset += len(line) + 1
         for idx, (start, line) in enumerate(entries):
@@ -80,7 +98,7 @@ class ResultStore:
             except (ValueError, UnicodeDecodeError) as exc:
                 is_last = all(not rest.strip() for _s, rest in entries[idx + 1:])
                 if is_last:
-                    self.recovered_bytes = len(raw) - start
+                    self.recovered_bytes = total - start
                     self._repair_offset = start
                     return self
                 raise StoreError(
@@ -90,6 +108,7 @@ class ResultStore:
                     "recovered automatically)"
                 ) from None
             self._records[record["key"]] = record
+            self.physical_records += 1
         return self
 
     def append(self, record: Dict[str, Any]) -> None:
@@ -112,9 +131,17 @@ class ResultStore:
             fh.flush()
             os.fsync(fh.fileno())
         self._records[key] = record
+        self.physical_records += 1
 
-    def compact(self) -> None:
-        """Rewrite the file with exactly one line per live key."""
+    def compact(self) -> int:
+        """Rewrite the file with exactly one line per live key.
+
+        The live view is *last-wins*: when a key was appended more than
+        once (``force=True`` re-runs), the latest record is the one a
+        reload would see, and it is the one compaction keeps.  Returns the
+        number of shadowed duplicate lines dropped from the file.
+        """
+        dropped = self.physical_records - len(self._records)
         tmp = self.path + ".tmp"
         with open(tmp, "w", encoding="utf-8") as fh:
             for record in self._records.values():
@@ -123,6 +150,8 @@ class ResultStore:
             os.fsync(fh.fileno())
         os.replace(tmp, self.path)
         self._repair_offset = None
+        self.physical_records = len(self._records)
+        return dropped
 
     # -- queries ----------------------------------------------------------
     def __len__(self) -> int:

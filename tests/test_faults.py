@@ -1,0 +1,203 @@
+"""repro.faults: deterministic injection decisions, env wiring, demotion."""
+
+import json
+
+import pytest
+
+from repro.common.errors import ConfigurationError
+from repro.faults import (
+    ENV_VAR,
+    FAULT_DEATH,
+    FAULT_EXCEPTION,
+    FAULT_HANG,
+    FAULT_OK,
+    FaultPlan,
+    InjectedFault,
+    active_plan,
+    clear_plan,
+    install_plan,
+    maybe_inject,
+)
+
+
+@pytest.fixture(autouse=True)
+def _no_leftover_plan(monkeypatch):
+    monkeypatch.delenv(ENV_VAR, raising=False)
+    clear_plan()
+    yield
+    clear_plan()
+
+
+class TestDecide:
+    def test_no_rates_means_no_faults(self):
+        plan = FaultPlan(seed=1)
+        assert all(
+            plan.decide(f"key{i}", attempt) is None
+            for i in range(50) for attempt in (1, 2)
+        )
+
+    def test_deterministic_across_instances(self):
+        a = FaultPlan(seed=7, exception_rate=0.3, hang_rate=0.2,
+                      death_rate=0.1)
+        b = FaultPlan(seed=7, exception_rate=0.3, hang_rate=0.2,
+                      death_rate=0.1)
+        decisions = [a.decide(f"k{i}", t) for i in range(200) for t in (1, 2)]
+        assert decisions == [
+            b.decide(f"k{i}", t) for i in range(200) for t in (1, 2)
+        ]
+        # With these rates a 400-draw sample must exercise every action.
+        assert FAULT_EXCEPTION in decisions
+        assert FAULT_HANG in decisions
+        assert FAULT_DEATH in decisions
+        assert None in decisions
+
+    def test_seed_changes_schedule(self):
+        a = FaultPlan(seed=1, exception_rate=0.5)
+        b = FaultPlan(seed=2, exception_rate=0.5)
+        decisions_a = [a.decide(f"k{i}", 1) for i in range(100)]
+        decisions_b = [b.decide(f"k{i}", 1) for i in range(100)]
+        assert decisions_a != decisions_b
+
+    def test_max_faults_per_point_guarantees_eventual_success(self):
+        plan = FaultPlan(seed=3, exception_rate=1.0, max_faults_per_point=2)
+        assert plan.decide("k", 1) == FAULT_EXCEPTION
+        assert plan.decide("k", 2) == FAULT_EXCEPTION
+        assert plan.decide("k", 3) is None
+        assert plan.decide("k", 99) is None
+
+    def test_scripted_overrides_rates(self):
+        plan = FaultPlan(
+            seed=0,
+            exception_rate=1.0,
+            scripted={"target": [FAULT_DEATH, FAULT_OK, FAULT_HANG]},
+        )
+        assert plan.decide("target", 1) == FAULT_DEATH
+        assert plan.decide("target", 2) is None
+        assert plan.decide("target", 3) == FAULT_HANG
+        assert plan.decide("target", 4) is None  # past the script: clean
+        assert plan.decide("other", 1) == FAULT_EXCEPTION
+
+    def test_attempt_is_one_based(self):
+        with pytest.raises(ConfigurationError, match="1-based"):
+            FaultPlan().decide("k", 0)
+
+
+class TestValidation:
+    def test_rate_out_of_range_rejected(self):
+        with pytest.raises(ConfigurationError, match="exception_rate"):
+            FaultPlan(exception_rate=1.5)
+        with pytest.raises(ConfigurationError, match="death_rate"):
+            FaultPlan(death_rate=-0.1)
+
+    def test_rates_must_sum_to_at_most_one(self):
+        with pytest.raises(ConfigurationError, match="sum"):
+            FaultPlan(exception_rate=0.5, hang_rate=0.4, death_rate=0.2)
+
+    def test_bad_scripted_action_rejected(self):
+        with pytest.raises(ConfigurationError, match="unknown action"):
+            FaultPlan(scripted={"k": ["explode"]})
+
+    def test_negative_knobs_rejected(self):
+        with pytest.raises(ConfigurationError, match="max_faults_per_point"):
+            FaultPlan(max_faults_per_point=-1)
+        with pytest.raises(ConfigurationError, match="hang_s"):
+            FaultPlan(hang_s=-1.0)
+
+
+class TestSerialization:
+    def test_round_trip(self):
+        plan = FaultPlan(
+            seed=11, exception_rate=0.25, hang_rate=0.1, death_rate=0.05,
+            max_faults_per_point=3, hang_s=4.5,
+            scripted={"k1": [FAULT_DEATH, FAULT_OK]},
+        )
+        assert FaultPlan.from_dict(plan.to_dict()) == plan
+        assert FaultPlan.from_dict(json.loads(plan.to_env())) == plan
+
+    def test_unknown_key_rejected(self):
+        with pytest.raises(ConfigurationError, match="unknown key"):
+            FaultPlan.from_dict({"seed": 1, "lightning_rate": 0.5})
+
+
+class TestActivation:
+    def test_inactive_by_default(self):
+        assert active_plan() is None
+        assert maybe_inject("any-key", 1) is None
+
+    def test_install_and_clear(self):
+        plan = FaultPlan(seed=5, exception_rate=1.0)
+        install_plan(plan)
+        assert active_plan() is plan
+        clear_plan()
+        assert active_plan() is None
+
+    def test_install_rejects_non_plan(self):
+        with pytest.raises(ConfigurationError, match="FaultPlan"):
+            install_plan({"seed": 1})
+
+    def test_env_var_activates(self, monkeypatch):
+        plan = FaultPlan(seed=9, exception_rate=1.0)
+        monkeypatch.setenv(ENV_VAR, plan.to_env())
+        assert active_plan() == plan
+        # The parse is memoized per raw value but tracks changes.
+        other = FaultPlan(seed=10, exception_rate=1.0)
+        monkeypatch.setenv(ENV_VAR, other.to_env())
+        assert active_plan() == other
+
+    def test_installed_plan_wins_over_env(self, monkeypatch):
+        monkeypatch.setenv(ENV_VAR, FaultPlan(seed=1).to_env())
+        installed = FaultPlan(seed=2)
+        install_plan(installed)
+        assert active_plan() is installed
+
+    def test_malformed_env_raises_loudly(self, monkeypatch):
+        monkeypatch.setenv(ENV_VAR, "{not json")
+        with pytest.raises(ConfigurationError, match="not valid JSON"):
+            active_plan()
+        monkeypatch.setenv(ENV_VAR, "[1, 2]")
+        with pytest.raises(ConfigurationError, match="JSON object"):
+            active_plan()
+
+
+class TestMaybeInject:
+    def test_exception_action_raises(self):
+        install_plan(FaultPlan(scripted={"k": [FAULT_EXCEPTION]}))
+        with pytest.raises(InjectedFault, match="injected exception"):
+            maybe_inject("k", 1)
+        assert maybe_inject("k", 2) is None
+
+    def test_fatal_actions_demoted_in_process(self):
+        # This test process is an orchestrator, not a pool worker: death
+        # and hang must arrive as exceptions, not kill or stall pytest.
+        install_plan(
+            FaultPlan(hang_s=60.0, scripted={"k": [FAULT_DEATH, FAULT_HANG]})
+        )
+        with pytest.raises(InjectedFault, match="injected worker death"):
+            maybe_inject("k", 1, fatal_ok=False)
+        with pytest.raises(InjectedFault, match="injected hang"):
+            maybe_inject("k", 2, fatal_ok=False)
+
+    def test_default_fatal_gate_is_parent_process(self):
+        # In the main process multiprocessing.parent_process() is None, so
+        # the default gate demotes fatal faults exactly like fatal_ok=False.
+        install_plan(FaultPlan(scripted={"k": [FAULT_DEATH]}))
+        with pytest.raises(InjectedFault, match="demoted"):
+            maybe_inject("k", 1)
+
+    def test_hang_sleeps_then_continues_when_fatal_ok(self, monkeypatch):
+        import repro.faults as faults_mod
+
+        naps = []
+        monkeypatch.setattr(faults_mod.time, "sleep", naps.append)
+        install_plan(FaultPlan(hang_s=7.5, scripted={"k": [FAULT_HANG]}))
+        assert maybe_inject("k", 1, fatal_ok=True) == FAULT_HANG
+        assert naps == [7.5]
+
+    def test_death_exits_hard_when_fatal_ok(self, monkeypatch):
+        import repro.faults as faults_mod
+
+        exits = []
+        monkeypatch.setattr(faults_mod.os, "_exit", exits.append)
+        install_plan(FaultPlan(scripted={"k": [FAULT_DEATH]}))
+        maybe_inject("k", 1, fatal_ok=True)
+        assert exits == [faults_mod.DEATH_EXIT_CODE]

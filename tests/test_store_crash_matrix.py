@@ -1,0 +1,108 @@
+"""Store crash-recovery matrix (ISSUE 6 satellite).
+
+Simulates a run killed *during* `ResultStore.append` — at byte offsets
+inside a record and at the clean boundaries between records — and asserts
+the two-step recovery contract: `load` drops (and schedules truncation of)
+the cut tail, and a frontier-resume of the same sweep lands a store
+byte-identical to the fault-free single run.
+"""
+
+import pytest
+
+from repro.sweep.grid import SweepSpec
+from repro.sweep.runner import run_sweep
+from repro.sweep.store import ResultStore
+
+
+def crash_spec() -> SweepSpec:
+    return SweepSpec(
+        name="crash",
+        topologies=("ring", "conv"),
+        cluster_counts=(2, 4),
+        steerings=("dependence",),
+        mixes=("int_heavy",),
+        n_instructions=200,
+        seeds=(11,),
+    )
+
+
+@pytest.fixture(scope="module")
+def reference(tmp_path_factory):
+    """Fault-free store bytes plus per-record line offsets."""
+    tmp = tmp_path_factory.mktemp("crash_ref")
+    points = crash_spec().expand()
+    path = str(tmp / "ref.jsonl")
+    run_sweep(points, ResultStore(path), workers=1)
+    with open(path, "rb") as fh:
+        raw = fh.read()
+    line_ends = []
+    offset = 0
+    for line in raw.split(b"\n")[:-1]:
+        offset += len(line) + 1
+        line_ends.append(offset)
+    assert len(line_ends) == len(points) == 4
+    return points, raw, line_ends
+
+
+def _crash_points(reference):
+    """(description, crash byte offset) matrix over the reference store."""
+    _points, raw, line_ends = reference
+    boundaries = [("empty-file", 0)]
+    for n_complete, end in enumerate(line_ends[:-1], start=1):
+        boundaries.append((f"between-records-{n_complete}", end))
+    starts = [0] + line_ends[:-1]
+    cuts = []
+    for idx, (start, end) in enumerate(zip(starts, line_ends)):
+        line_len = end - start
+        for label, within in (
+            ("first-byte", 1),
+            ("mid-record", line_len // 2),
+            ("missing-newline", line_len - 1),
+        ):
+            cuts.append((f"record{idx}-{label}", start + within))
+    return boundaries + cuts
+
+
+def test_crash_matrix_covers_interior_and_boundary_offsets(reference):
+    matrix = _crash_points(reference)
+    # 1 empty + 3 boundaries + 4 records x 3 in-record offsets.
+    assert len(matrix) == 16
+
+
+def test_resume_after_crash_is_byte_identical(reference, tmp_path):
+    points, raw, _line_ends = reference
+    for label, offset in _crash_points(reference):
+        path = str(tmp_path / f"{label}.jsonl")
+        with open(path, "wb") as fh:
+            fh.write(raw[:offset])
+        store = ResultStore(path)
+        # A cut inside a record is detected as a recoverable tail; a cut
+        # at a record boundary is simply a shorter valid store.
+        boundary = any(offset == e for e in (0, *_boundaries(reference)))
+        assert (store.recovered_bytes > 0) == (not boundary), label
+        summary = run_sweep(points, store, workers=1)
+        assert not summary.failures, label
+        with open(path, "rb") as fh:
+            assert fh.read() == raw, f"crash at {label} broke byte-identity"
+
+
+def _boundaries(reference):
+    _points, _raw, line_ends = reference
+    return line_ends
+
+
+def test_resume_with_multiprocess_workers_after_mid_record_crash(
+        reference, tmp_path):
+    # The pool path must honour the deferred tail repair exactly like the
+    # inline path: same final bytes.
+    points, raw, _line_ends = reference
+    offset = 17  # mid-way through the very first record: all 4 points
+    path = str(tmp_path / "pool_crash.jsonl")  # pending -> pool engages
+    with open(path, "wb") as fh:
+        fh.write(raw[:offset])
+    store = ResultStore(path)
+    assert store.recovered_bytes == 17
+    assert len(store) == 0
+    run_sweep(points, store, workers=2)
+    with open(path, "rb") as fh:
+        assert fh.read() == raw

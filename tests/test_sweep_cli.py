@@ -1,10 +1,12 @@
-"""``python -m repro.sweep`` CLI: run/report/list wiring and --energy."""
+"""``python -m repro.sweep`` CLI: run/report/list/compact wiring, --energy,
+and the retry/timeout fault-handling flags."""
 
 import json
 import os
 
 import pytest
 
+from repro.faults import FaultPlan, clear_plan, install_plan
 from repro.sweep.cli import main
 from repro.sweep.grid import SweepSpec
 from repro.sweep.store import ResultStore
@@ -148,6 +150,81 @@ class TestList:
         assert "int_heavy" in out
         assert main(["list", "--mixes"]) == 0
         assert "memory_bound" in capsys.readouterr().out
+
+
+class TestCompact:
+    def test_compact_after_force_rerun_dedups(self, tmp_path, capsys):
+        spec = tiny_spec_file(tmp_path)
+        store = str(tmp_path / "store.jsonl")
+        assert main(["run", "--spec", spec, "--store", store,
+                     "--workers", "1"]) == 0
+        assert main(["run", "--spec", spec, "--store", store,
+                     "--workers", "1", "--force"]) == 0
+        with open(store) as fh:
+            assert len(fh.read().splitlines()) == 4
+        capsys.readouterr()
+        assert main(["compact", "--store", store]) == 0
+        out = capsys.readouterr().out
+        assert "2 live record(s)" in out
+        assert "2 shadowed duplicate line(s) dropped" in out
+        with open(store) as fh:
+            assert len(fh.read().splitlines()) == 2
+        assert len(ResultStore(store)) == 2
+
+    def test_compact_is_idempotent(self, tmp_path, capsys):
+        spec = tiny_spec_file(tmp_path)
+        store = str(tmp_path / "store.jsonl")
+        main(["run", "--spec", spec, "--store", store, "--workers", "1"])
+        assert main(["compact", "--store", store]) == 0
+        capsys.readouterr()
+        assert main(["compact", "--store", store]) == 0
+        assert "0 shadowed duplicate line(s) dropped" in capsys.readouterr().out
+
+    def test_compact_help_documents_last_wins(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["compact", "--help"])
+        help_text = capsys.readouterr().out
+        assert "last-wins" in help_text
+        assert "--force" in help_text
+
+
+class TestFaultHandlingFlags:
+    @pytest.fixture(autouse=True)
+    def _clean_faults(self, monkeypatch):
+        monkeypatch.delenv("REPRO_FAULTS", raising=False)
+        clear_plan()
+        yield
+        clear_plan()
+
+    def test_permanent_failure_exits_1_with_diagnostics(self, tmp_path, capsys):
+        spec = tiny_spec_file(tmp_path)
+        store = str(tmp_path / "store.jsonl")
+        install_plan(FaultPlan(seed=1, exception_rate=1.0,
+                               max_faults_per_point=5))
+        assert main(["run", "--spec", spec, "--store", store,
+                     "--workers", "1", "--retries", "0"]) == 1
+        err = capsys.readouterr().err
+        assert "FAILED" in err
+        assert "InjectedFault" in err
+        assert "re-run the same command" in err
+
+    def test_retries_recover_from_transient_faults(self, tmp_path):
+        spec = tiny_spec_file(tmp_path)
+        store = str(tmp_path / "store.jsonl")
+        # Every point faults exactly once; one retry absorbs it.
+        install_plan(FaultPlan(seed=1, exception_rate=1.0,
+                               max_faults_per_point=1))
+        assert main(["run", "--spec", spec, "--store", store,
+                     "--workers", "1", "--retries", "1",
+                     "--backoff", "0"]) == 0
+        assert len(ResultStore(store)) == 2
+
+    def test_invalid_retry_flags_exit_2(self, tmp_path, capsys):
+        spec = tiny_spec_file(tmp_path)
+        store = str(tmp_path / "store.jsonl")
+        assert main(["run", "--spec", spec, "--store", store,
+                     "--workers", "1", "--timeout", "0"]) == 2
+        assert "timeout_s" in capsys.readouterr().err
 
 
 @pytest.mark.parametrize("argv", [["run", "--smoke", "--workers", "1"]])

@@ -143,6 +143,31 @@ class TestExperimentPoint:
         monkeypatch.setattr(grid_mod, "ENGINE_VERSION", "999-test")
         assert point.key() != before
 
+    def test_key_is_memoized_per_instance(self, monkeypatch):
+        # The runner calls key() on every dispatch/flush/retry step, so the
+        # digest is cached on the instance — but the cache must still track
+        # ENGINE_VERSION (the version test above re-keys the same object).
+        import repro.sweep.grid as grid_mod
+
+        point = ExperimentPoint(ProcessorConfig(), "int_heavy", 100, 1)
+        first = point.key()
+        calls = []
+        real_digest = grid_mod.content_digest
+
+        def counting_digest(*args, **kwargs):
+            calls.append(args)
+            return real_digest(*args, **kwargs)
+
+        monkeypatch.setattr(grid_mod, "content_digest", counting_digest)
+        assert point.key() == first
+        assert point.key() == first
+        assert calls == []
+        # A fresh-but-equal instance computes its own digest once.
+        other = ExperimentPoint(ProcessorConfig(), "int_heavy", 100, 1)
+        assert other.key() == first
+        assert other.key() == first
+        assert len(calls) == 1
+
     def test_unknown_mix_rejected(self):
         with pytest.raises(ConfigurationError, match="unknown workload mix"):
             ExperimentPoint(ProcessorConfig(), "nope", 100, 1)

@@ -68,6 +68,29 @@ class TestBasics:
         reloaded = ResultStore(path)
         assert reloaded.get("a")["value"] == 2
 
+    def test_compact_reports_dropped_duplicates(self, tmp_path):
+        path = str(tmp_path / "store.jsonl")
+        store = ResultStore(path)
+        store.append(record("a", 1))
+        store.append(record("a", 2))
+        store.append(record("a", 3))
+        store.append(record("b", 1))
+        assert store.physical_records == 4
+        assert store.compact() == 2
+        assert store.physical_records == 2
+        # Idempotent: a second compaction has nothing left to drop.
+        assert store.compact() == 0
+
+    def test_physical_records_tracked_across_reload(self, tmp_path):
+        path = str(tmp_path / "store.jsonl")
+        store = ResultStore(path)
+        store.append(record("a", 1))
+        store.append(record("a", 2))
+        reloaded = ResultStore(path)
+        assert reloaded.physical_records == 2
+        assert len(reloaded) == 1
+        assert reloaded.compact() == 1
+
 
 class TestRecovery:
     def _store_with_tail(self, tmp_path, tail: bytes) -> str:
