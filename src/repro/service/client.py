@@ -1,0 +1,208 @@
+"""Small blocking client for the sweep service (tests, CI, scripts).
+
+Wraps :mod:`http.client` — one connection per request, matching the
+server's ``Connection: close`` discipline — and parses SSE streams into
+``(id, event, data)`` tuples.  Deliberately boring: no retries, no
+sessions, no dependencies; CI drives the whole service lifecycle through
+it and the byte-identity checks need nothing smarter.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from http.client import HTTPConnection
+from typing import Any, Dict, Iterator, List, Optional, Tuple
+
+from repro.common.errors import ReproError
+from repro.service.events import TERMINAL_EVENTS
+
+#: Parsed SSE event: ``(id, name, data)``.
+SSEEvent = Tuple[int, str, Dict[str, Any]]
+
+
+class ServiceError(ReproError):
+    """The service answered with a structured error (or junk)."""
+
+    def __init__(self, status: int, code: str, message: str) -> None:
+        super().__init__(f"HTTP {status} [{code}]: {message}")
+        self.status = status
+        self.code = code
+
+
+class ServiceClient:
+    """Blocking HTTP client for one service instance."""
+
+    def __init__(self, host: str, port: int, timeout: float = 60.0) -> None:
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+
+    # -- plumbing ----------------------------------------------------------
+    def _request(
+        self, method: str, path: str, body: Optional[Dict[str, Any]] = None
+    ) -> Tuple[int, bytes]:
+        conn = HTTPConnection(self.host, self.port, timeout=self.timeout)
+        try:
+            payload = None
+            headers = {}
+            if body is not None:
+                payload = json.dumps(body).encode("utf-8")
+                headers["Content-Type"] = "application/json"
+            conn.request(method, path, body=payload, headers=headers)
+            response = conn.getresponse()
+            return response.status, response.read()
+        except OSError as exc:
+            raise ServiceError(
+                0, "unreachable",
+                f"cannot reach service at {self.host}:{self.port} ({exc})",
+            ) from exc
+        finally:
+            conn.close()
+
+    def _json(self, method: str, path: str,
+              body: Optional[Dict[str, Any]] = None,
+              ok: Tuple[int, ...] = (200, 201)) -> Dict[str, Any]:
+        status, raw = self._request(method, path, body)
+        try:
+            data = json.loads(raw.decode("utf-8"))
+        except (ValueError, UnicodeDecodeError) as exc:
+            raise ServiceError(status, "bad_response",
+                               f"non-JSON response: {raw[:200]!r}") from exc
+        if status not in ok:
+            error = data.get("error", {}) if isinstance(data, dict) else {}
+            raise ServiceError(status, error.get("code", "error"),
+                               error.get("message", raw.decode("utf-8",
+                                                               "replace")))
+        return data
+
+    # -- endpoints ---------------------------------------------------------
+    def health(self) -> Dict[str, Any]:
+        return self._json("GET", "/healthz")
+
+    def index(self) -> Dict[str, Any]:
+        return self._json("GET", "/")
+
+    def submit(self, spec: Dict[str, Any], **options: Any) -> Dict[str, Any]:
+        """``POST /jobs``; returns the submission response.
+
+        ``options`` pass through to the request body (``workers``,
+        ``kernel_variant``, ``energy``, ``retries``, ``timeout_s``,
+        ``backoff_s``).
+        """
+        body = dict(options)
+        body["spec"] = spec
+        return self._json("POST", "/jobs", body)
+
+    def jobs(self) -> List[Dict[str, Any]]:
+        return self._json("GET", "/jobs")["jobs"]
+
+    def job(self, job_id: str) -> Dict[str, Any]:
+        return self._json("GET", f"/jobs/{job_id}")
+
+    def cancel(self, job_id: str) -> Dict[str, Any]:
+        return self._json("POST", f"/jobs/{job_id}/cancel", {},
+                          ok=(200, 409))
+
+    def result(self, key: str) -> bytes:
+        """One record's canonical store bytes (including the newline)."""
+        status, raw = self._request("GET", f"/results/{key}")
+        if status != 200:
+            raise ServiceError(status, "unknown_result",
+                               raw.decode("utf-8", "replace"))
+        return raw
+
+    def report(self, job_id: str, fmt: str = "md",
+               table: Optional[str] = None) -> str:
+        path = f"/jobs/{job_id}/report?format={fmt}"
+        if table is not None:
+            path += f"&table={table}"
+        status, raw = self._request("GET", path)
+        if status != 200:
+            raise ServiceError(status, "report_error",
+                               raw.decode("utf-8", "replace"))
+        return raw.decode("utf-8")
+
+    def steering_policies(self) -> List[Dict[str, Any]]:
+        return self._json("GET", "/registry/steering")["steering_policies"]
+
+    def mixes(self) -> List[Dict[str, Any]]:
+        return self._json("GET", "/registry/mixes")["mixes"]
+
+    # -- streaming ---------------------------------------------------------
+    def stream(self, job_id: str,
+               timeout: Optional[float] = None) -> Iterator[SSEEvent]:
+        """Yield the job's SSE events until its run ends.
+
+        Replays the job's event history first (subscribing late is fine),
+        then follows live events through the terminal event.
+        """
+        conn = HTTPConnection(self.host, self.port,
+                              timeout=self.timeout if timeout is None
+                              else timeout)
+        try:
+            try:
+                conn.request("GET", f"/jobs/{job_id}/events")
+                response = conn.getresponse()
+            except OSError as exc:
+                raise ServiceError(
+                    0, "unreachable",
+                    f"cannot reach service at {self.host}:{self.port} "
+                    f"({exc})",
+                ) from exc
+            if response.status != 200:
+                raw = response.read()
+                raise ServiceError(response.status, "stream_error",
+                                   raw.decode("utf-8", "replace"))
+            event_id = 0
+            name = ""
+            data_line = ""
+            while True:
+                line = response.readline()
+                if not line:
+                    return  # stream closed by server
+                text = line.decode("utf-8").rstrip("\n")
+                if text.startswith("id:"):
+                    event_id = int(text[3:].strip())
+                elif text.startswith("event:"):
+                    name = text[6:].strip()
+                elif text.startswith("data:"):
+                    data_line = text[5:].strip()
+                elif text == "":
+                    if name:
+                        yield (event_id, name,
+                               json.loads(data_line) if data_line else {})
+                        if name in TERMINAL_EVENTS:
+                            return
+                    name = ""
+                    data_line = ""
+        finally:
+            conn.close()
+
+    def wait(self, job_id: str, timeout: float = 300.0) -> Dict[str, Any]:
+        """Block until the job's current run ends; return its final status.
+
+        Follows the SSE stream (so waiting costs no polling); falls back
+        to one status poll per second if the stream ends without a
+        terminal event (e.g. a server-side reset between runs).
+        """
+        deadline = time.monotonic() + timeout
+        for _event_id, name, _data in self.stream(job_id, timeout=timeout):
+            if name in TERMINAL_EVENTS:
+                break
+            if time.monotonic() > deadline:
+                raise ServiceError(408, "timeout",
+                                   f"job {job_id} still running after "
+                                   f"{timeout}s")
+        while True:
+            status = self.job(job_id)
+            if status["state"] not in ("queued", "running"):
+                return status
+            if time.monotonic() > deadline:
+                raise ServiceError(408, "timeout",
+                                   f"job {job_id} still running after "
+                                   f"{timeout}s")
+            time.sleep(0.05)
+
+
+__all__ = ["SSEEvent", "ServiceClient", "ServiceError"]

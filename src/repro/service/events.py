@@ -1,0 +1,168 @@
+"""Per-job event fan-out for Server-Sent-Events streaming.
+
+Each job owns one :class:`EventBroadcaster`.  The job-runner *thread*
+publishes events through :meth:`EventBroadcaster.publish` (which hops onto
+the event loop via ``call_soon_threadsafe``); any number of SSE handler
+coroutines subscribe concurrently, each getting its own unbounded
+:class:`asyncio.Queue` so one slow client can never stall another — or the
+publisher.
+
+Every event is kept in an in-order history and assigned a monotonically
+increasing id, so a late subscriber (a client that connects after the job
+finished, or reconnects mid-run) replays the full story before going
+live.  The history is bounded by :data:`MAX_EVENT_HISTORY`; when a run
+overflows it, the oldest events are dropped and replay starts with a
+``truncated`` marker event naming how many were lost — bounded memory,
+never a silent gap.
+
+A *run* of events ends with exactly one terminal event (``done``,
+``failed`` or ``cancelled``), after which :meth:`close` releases all
+subscribers.  Re-submitting a finished job starts a fresh run:
+:meth:`reset` clears the history (ids keep increasing across runs, so an
+SSE client's ``Last-Event-ID`` bookkeeping stays monotonic).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from collections import deque
+from typing import Any, AsyncIterator, Deque, Dict, List, Optional, Tuple
+
+#: Events retained per run for late-subscriber replay.  A sweep emits a
+#: handful of events per point, so this covers grids of thousands of
+#: points; beyond it, replay is truncated (and says so), never wrong.
+MAX_EVENT_HISTORY = 65536
+
+#: Terminal event names: one of these ends every run's stream.
+TERMINAL_EVENTS = ("done", "failed", "cancelled")
+
+#: An event as it travels through queues: ``(id, name, data)``.
+Event = Tuple[int, str, Dict[str, Any]]
+
+
+def format_sse(event: Event) -> bytes:
+    """One event in SSE wire format (``id:`` / ``event:`` / ``data:``).
+
+    Data is a single JSON line, so the multi-line ``data:`` continuation
+    rules never come into play and any spec-compliant client parses it.
+    """
+    event_id, name, data = event
+    payload = json.dumps(data, sort_keys=True, separators=(",", ":"))
+    return f"id: {event_id}\nevent: {name}\ndata: {payload}\n\n".encode("utf-8")
+
+
+class EventBroadcaster:
+    """One job's ordered, replayable event stream.
+
+    Thread contract: :meth:`publish`, :meth:`close` and :meth:`reset` may
+    be called from any thread; subscription and delivery happen on the
+    event loop passed to the constructor.
+    """
+
+    def __init__(self, loop: asyncio.AbstractEventLoop) -> None:
+        self._loop = loop
+        self._history: Deque[Event] = deque()
+        self._dropped = 0          # events evicted from history this run
+        self._next_id = 1
+        self._subscribers: List[asyncio.Queue] = []
+        self._closed = False
+
+    # -- publishing (any thread) ------------------------------------------
+    def publish(self, name: str, data: Dict[str, Any]) -> None:
+        """Append an event and wake every subscriber (thread-safe)."""
+        self._loop.call_soon_threadsafe(self._publish_on_loop, name, data)
+
+    def close(self) -> None:
+        """End the current run's stream; subscribers finish after replay."""
+        self._loop.call_soon_threadsafe(self._close_on_loop)
+
+    def reset(self) -> None:
+        """Start a fresh run: clear history, reopen the stream."""
+        self._loop.call_soon_threadsafe(self._reset_on_loop)
+
+    # -- loop-side internals ----------------------------------------------
+    def _publish_on_loop(self, name: str, data: Dict[str, Any]) -> None:
+        if self._closed:
+            # A straggler publish after the terminal event (e.g. a log
+            # line racing the close) would violate the one-terminal-event
+            # contract; drop it.
+            return
+        event: Event = (self._next_id, name, dict(data))
+        self._next_id += 1
+        self._history.append(event)
+        if len(self._history) > MAX_EVENT_HISTORY:
+            self._history.popleft()
+            self._dropped += 1
+        for queue in self._subscribers:
+            queue.put_nowait(event)
+
+    def _close_on_loop(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        for queue in self._subscribers:
+            queue.put_nowait(None)  # end-of-stream sentinel
+
+    def _reset_on_loop(self) -> None:
+        # Live subscribers of the previous run were released by close();
+        # any still attached (close never called) get the sentinel now.
+        for queue in self._subscribers:
+            queue.put_nowait(None)
+        self._subscribers = []
+        self._history.clear()
+        self._dropped = 0
+        self._closed = False
+
+    # -- subscription (event loop only) -----------------------------------
+    async def subscribe(self) -> AsyncIterator[Event]:
+        """Yield the run's events: full history replay, then live.
+
+        The iterator ends when the run closes (terminal event published)
+        or the subscriber is released by a :meth:`reset`.  Cancellation
+        (client disconnect) detaches the queue cleanly.
+        """
+        queue: asyncio.Queue = asyncio.Queue()
+        replay = list(self._history)
+        dropped = self._dropped
+        closed = self._closed
+        if not closed:
+            self._subscribers.append(queue)
+        try:
+            if dropped:
+                yield (0, "truncated", {"dropped_events": dropped})
+            for event in replay:
+                yield event
+            if closed:
+                return
+            while True:
+                event: Optional[Event] = await queue.get()
+                if event is None:
+                    return
+                yield event
+        finally:
+            if queue in self._subscribers:
+                self._subscribers.remove(queue)
+
+    # -- introspection -----------------------------------------------------
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def history(self) -> List[Event]:
+        """Snapshot of the retained events (tests and debugging)."""
+        return list(self._history)
+
+
+def is_terminal(name: str) -> bool:
+    return name in TERMINAL_EVENTS
+
+
+__all__ = [
+    "Event",
+    "EventBroadcaster",
+    "MAX_EVENT_HISTORY",
+    "TERMINAL_EVENTS",
+    "format_sse",
+    "is_terminal",
+]

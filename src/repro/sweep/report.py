@@ -24,11 +24,12 @@ Output is markdown (one document) and CSV (one file per table).
 from __future__ import annotations
 
 import csv
+import io
 import os
 from collections import defaultdict
 from dataclasses import dataclass, field
 from functools import cached_property
-from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
+from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 
 from repro.common.errors import StoreError
 from repro.energy import ENERGY_COMPONENTS
@@ -115,20 +116,44 @@ class Table:
             lines.append("| " + " | ".join(cell(v) for v in row) + " |")
         return "\n".join(lines)
 
+    def to_csv_text(self) -> str:
+        """The table as CSV text — exactly what :meth:`write_csv` writes.
+
+        One rendering path for both the file on disk and the service's
+        ``GET /jobs/<id>/report?format=csv`` endpoint, so the two can
+        never drift.
+        """
+        buf = io.StringIO()
+        writer = csv.writer(buf)
+        writer.writerow(self.columns)
+        for row in self.rows:
+            writer.writerow(
+                [f"{v:.6f}" if isinstance(v, float) else v for v in row]
+            )
+        return buf.getvalue()
+
     def write_csv(self, path: str) -> None:
         with open(path, "w", newline="", encoding="utf-8") as fh:
-            writer = csv.writer(fh)
-            writer.writerow(self.columns)
-            for row in self.rows:
-                writer.writerow(
-                    [f"{v:.6f}" if isinstance(v, float) else v for v in row]
-                )
+            fh.write(self.to_csv_text())
 
 
 def load_rows(store: ResultStore) -> List[ResultRow]:
     """Flatten every store record; malformed records raise StoreError."""
+    return rows_from_records(store.records(), where=repr(store.path))
+
+
+def rows_from_records(
+    records: Iterable[Dict[str, Any]], where: str = "<records>"
+) -> List[ResultRow]:
+    """Flatten an in-memory iterable of result records into table rows.
+
+    The record-level half of :func:`load_rows`, split out so incremental
+    reports (the service rendering tables from the subset of a job's
+    points completed so far) share one parsing/validation path with the
+    CLI.  ``where`` names the source in error messages.
+    """
     rows: List[ResultRow] = []
-    for record in store.records():
+    for record in records:
         try:
             point = record["point"]
             config = point["config"]
@@ -166,7 +191,7 @@ def load_rows(store: ResultStore) -> List[ResultRow]:
             )
         except (KeyError, TypeError, ValueError) as exc:
             raise StoreError(
-                f"result store {store.path!r}: record "
+                f"result store {where}: record "
                 f"{record.get('key', '<unkeyed>')!r} is not a sweep result "
                 f"({exc!r})"
             ) from None
@@ -386,5 +411,6 @@ __all__ = [
     "load_rows",
     "relative_ipc_table",
     "render_markdown",
+    "rows_from_records",
     "write_report",
 ]

@@ -363,6 +363,8 @@ class _FrontierExecutor:
         n_workers: int,
         use_pool: bool,
         say: Callable[[str], None],
+        on_point_done: Optional[Callable[[str, Dict[str, Any], int], None]] = None,
+        should_stop: Optional[Callable[[], bool]] = None,
     ) -> None:
         self.tasks = tasks
         self.store = store
@@ -370,6 +372,8 @@ class _FrontierExecutor:
         self.n_workers = n_workers
         self.use_pool = use_pool
         self.say = say
+        self.on_point_done = on_point_done
+        self.should_stop = should_stop
         self.pool: Optional[multiprocessing.pool.Pool] = None
         self.buffer: Dict[int, Tuple[Dict[str, Any], float]] = {}
         self.next_flush = 0
@@ -429,6 +433,13 @@ class _FrontierExecutor:
             self.n_flushed += 1
             self.say(f"  done {task.point.label()} ({elapsed*1e3:.0f} ms)")
             self.next_flush += 1
+            if self.on_point_done is not None:
+                # Progress hook, invoked strictly in expansion order and
+                # only after the record is durably appended — a subscriber
+                # notified of (key, index) may read the store and find it.
+                # Exceptions propagate: a broken hook aborts the sweep
+                # rather than silently dropping progress events.
+                self.on_point_done(task.key, record, task.index)
 
     def _complete(self, task: _PointTask, record: Dict[str, Any],
                   elapsed: float) -> None:
@@ -465,10 +476,20 @@ class _FrontierExecutor:
         )
         requeue.append(task)
 
+    def _check_stop(self) -> None:
+        """Cooperative cancellation: embedders (the service job manager)
+        pass ``should_stop``; when it fires the sweep takes the exact
+        SIGINT path — pool torn down, frontier flushed, partial summary
+        raised as :class:`SweepInterrupted` — so cancel inherits every
+        durability guarantee of an interrupt."""
+        if self.should_stop is not None and self.should_stop():
+            raise KeyboardInterrupt()
+
     # -- inline execution (no pool) ---------------------------------------
     def _run_inline(self) -> None:
         for task in self.tasks:
             while True:
+                self._check_stop()
                 if task.ready_at:
                     time.sleep(max(0.0, task.ready_at - time.monotonic()))
                 attempt = task.attempts + 1
@@ -534,6 +555,7 @@ class _FrontierExecutor:
         waiting = list(self.tasks)
         in_flight: Dict[int, _PointTask] = {}
         while waiting or in_flight:
+            self._check_stop()
             now = time.monotonic()
             # 1. Dispatch tasks whose backoff has elapsed, lowest expansion
             #    index first so the frontier advances soonest, capped at one
@@ -615,6 +637,8 @@ def run_sweep(
     log: Optional[Callable[[str], None]] = None,
     kernel_variant: Optional[str] = None,
     policy: Optional[RetryPolicy] = None,
+    on_point_done: Optional[Callable[[str, Dict[str, Any], int], None]] = None,
+    should_stop: Optional[Callable[[], bool]] = None,
 ) -> SweepSummary:
     """Compute every point not already in ``store``; return a summary.
 
@@ -635,6 +659,18 @@ def run_sweep(
     summary after the pool is torn down.  Points that exhaust their retry
     budget are reported in :attr:`SweepSummary.failures` and block the
     frontier at their expansion index.
+
+    ``on_point_done(key, record, index)``, when given, is invoked once per
+    freshly computed point, strictly in expansion order, immediately after
+    the record is durably appended to the store; ``index`` is the point's
+    0-based position within the pending (non-cached) shard.  The hook runs
+    in the orchestrating thread and must be cheap; leaving it unset changes
+    nothing — store bytes, summaries, and timings are identical.
+
+    ``should_stop``, when given, is polled between dispatch iterations;
+    returning ``True`` cancels the sweep through the interrupt path (pool
+    torn down, frontier flushed, :class:`SweepInterrupted` raised with the
+    partial summary) — the service's cancel button.
     """
     t0 = time.perf_counter()
     n_workers = default_workers() if workers is None else max(1, int(workers))
@@ -675,7 +711,8 @@ def run_sweep(
             and len(pending) >= n_workers * MIN_POINTS_PER_WORKER
         )
         executor = _FrontierExecutor(
-            tasks, store, retry_policy, n_workers, use_pool, say
+            tasks, store, retry_policy, n_workers, use_pool, say,
+            on_point_done=on_point_done, should_stop=should_stop,
         )
         restore_sigterm = _convert_sigterm()
         try:

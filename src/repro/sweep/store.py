@@ -21,6 +21,7 @@ from __future__ import annotations
 
 import json
 import os
+import threading
 from typing import Any, Dict, Iterator, List, Optional, Tuple
 
 from repro.common.errors import StoreError
@@ -51,6 +52,18 @@ class ResultStore:
         # mid-append, and what looks like a truncated tail to a reader is
         # that writer's record in flight.
         self._repair_offset: Optional[int] = None
+        # File size this object has accounted for (bytes read by the last
+        # load() plus bytes it appended itself).  read_record() compares it
+        # against the on-disk size to detect *other* writers cheaply — one
+        # stat per miss instead of one full re-read per miss.
+        self._seen_size = 0
+        # Serializes load/append/compact/read_record across threads: the
+        # service appends from its job-runner thread while the event loop
+        # serves reads from the same object.  Cross-*process* readers are
+        # protected by the append discipline instead (a record line is
+        # written and flushed in one call, and the trailing-newline rule
+        # makes a torn tail invisible to load()).
+        self._lock = threading.RLock()
         if load:
             self.load()
 
@@ -62,15 +75,21 @@ class ResultStore:
         view and scheduled for physical truncation on the next
         :meth:`append`; the file itself is not modified by loading.
         """
+        with self._lock:
+            return self._load_locked()
+
+    def _load_locked(self) -> "ResultStore":
         self._records = {}
         self.recovered_bytes = 0
         self.physical_records = 0
         self._repair_offset = None
+        self._seen_size = 0
         if not os.path.exists(self.path):
             return self
         with open(self.path, "rb") as fh:
             raw = fh.read()
         total = len(raw)
+        self._seen_size = total
         body = raw
         if body and not body.endswith(b"\n"):
             # A crash after writing a record's bytes but before its newline
@@ -122,16 +141,19 @@ class ResultStore:
         line = canonical_json(record)
         parent = os.path.dirname(os.path.abspath(self.path))
         os.makedirs(parent, exist_ok=True)
-        if self._repair_offset is not None:
-            with open(self.path, "r+b") as fh:
-                fh.truncate(self._repair_offset)
-            self._repair_offset = None
-        with open(self.path, "a", encoding="utf-8") as fh:
-            fh.write(line + "\n")
-            fh.flush()
-            os.fsync(fh.fileno())
-        self._records[key] = record
-        self.physical_records += 1
+        with self._lock:
+            if self._repair_offset is not None:
+                with open(self.path, "r+b") as fh:
+                    fh.truncate(self._repair_offset)
+                self._seen_size = self._repair_offset
+                self._repair_offset = None
+            with open(self.path, "a", encoding="utf-8") as fh:
+                fh.write(line + "\n")
+                fh.flush()
+                os.fsync(fh.fileno())
+            self._records[key] = record
+            self.physical_records += 1
+            self._seen_size += len(line.encode("utf-8")) + 1
 
     def compact(self) -> int:
         """Rewrite the file with exactly one line per live key.
@@ -141,19 +163,55 @@ class ResultStore:
         reload would see, and it is the one compaction keeps.  Returns the
         number of shadowed duplicate lines dropped from the file.
         """
-        dropped = self.physical_records - len(self._records)
-        tmp = self.path + ".tmp"
-        with open(tmp, "w", encoding="utf-8") as fh:
-            for record in self._records.values():
-                fh.write(canonical_json(record) + "\n")
-            fh.flush()
-            os.fsync(fh.fileno())
-        os.replace(tmp, self.path)
-        self._repair_offset = None
-        self.physical_records = len(self._records)
-        return dropped
+        with self._lock:
+            dropped = self.physical_records - len(self._records)
+            tmp = self.path + ".tmp"
+            written = 0
+            with open(tmp, "w", encoding="utf-8") as fh:
+                for record in self._records.values():
+                    line = canonical_json(record) + "\n"
+                    fh.write(line)
+                    written += len(line.encode("utf-8"))
+                fh.flush()
+                os.fsync(fh.fileno())
+            os.replace(tmp, self.path)
+            self._repair_offset = None
+            self.physical_records = len(self._records)
+            self._seen_size = written
+            return dropped
 
     # -- queries ----------------------------------------------------------
+    def read_record(
+        self, key: str, default: Optional[Dict[str, Any]] = None
+    ) -> Optional[Dict[str, Any]]:
+        """Point lookup that sees records appended by *other* writers.
+
+        :meth:`get` consults only this object's in-memory view; a reader
+        following a store that another process is appending to (the
+        service's read-side endpoints, a ``report`` run against a live
+        sweep) needs the on-disk truth.  On a miss the file size is
+        compared against the bytes this object has accounted for, and a
+        mismatch triggers a full :meth:`load` — so a hit costs a dict
+        probe, a stale miss costs one ``stat`` plus one re-read.
+
+        Safe against a concurrent appender: the trailing-newline recovery
+        rule means a torn tail (the writer's record in flight) is simply
+        invisible — it becomes visible on a later call, once its newline
+        lands — and reading never mutates the file (tail repair stays
+        deferred to :meth:`append`, which only the owning writer calls).
+        """
+        with self._lock:
+            hit = self._records.get(key)
+            if hit is not None:
+                return hit
+            try:
+                size = os.path.getsize(self.path)
+            except OSError:
+                return default
+            if size != self._seen_size:
+                self._load_locked()
+            return self._records.get(key, default)
+
     def __len__(self) -> int:
         return len(self._records)
 

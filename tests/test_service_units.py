@@ -1,0 +1,262 @@
+"""Unit tests for the service's building blocks: schemas and events.
+
+No HTTP here — these exercise the request-schema validator and the SSE
+event broadcaster directly, on a locally-driven event loop.
+"""
+
+import asyncio
+import json
+import threading
+
+import pytest
+
+from repro.service.events import (
+    EventBroadcaster,
+    MAX_EVENT_HISTORY,
+    format_sse,
+    is_terminal,
+)
+from repro.service.schemas import (
+    CANCEL_SCHEMA,
+    SUBMIT_SCHEMA,
+    SchemaError,
+    validate,
+)
+
+
+class TestValidate:
+    def test_accepts_matching_object(self):
+        validate({"spec": {}, "workers": 4, "energy": True}, SUBMIT_SCHEMA)
+        validate({"spec": {}, "retries": 0, "timeout_s": 1.5,
+                  "backoff_s": 0}, SUBMIT_SCHEMA)
+        validate({}, CANCEL_SCHEMA)
+
+    def test_missing_required_key(self):
+        with pytest.raises(SchemaError) as err:
+            validate({"workers": 1}, SUBMIT_SCHEMA)
+        assert "missing required key 'spec'" in str(err.value)
+        assert err.value.path == "body"
+
+    def test_unknown_key_names_path_and_valid_keys(self):
+        with pytest.raises(SchemaError) as err:
+            validate({"spec": {}, "wrokers": 1}, SUBMIT_SCHEMA)
+        assert err.value.path == "body.wrokers"
+        assert "workers" in str(err.value)
+
+    def test_type_mismatch_names_both_types(self):
+        with pytest.raises(SchemaError) as err:
+            validate({"spec": {}, "workers": "four"}, SUBMIT_SCHEMA)
+        assert "expected integer, got string" in str(err.value)
+
+    def test_bool_is_not_an_integer(self):
+        # bool subclasses int in python; the schema must still reject it.
+        with pytest.raises(SchemaError) as err:
+            validate({"spec": {}, "workers": True}, SUBMIT_SCHEMA)
+        assert "expected integer" in str(err.value)
+        with pytest.raises(SchemaError):
+            validate({"spec": {}, "timeout_s": False}, SUBMIT_SCHEMA)
+
+    def test_minimum_maximum(self):
+        with pytest.raises(SchemaError) as err:
+            validate({"spec": {}, "workers": 0}, SUBMIT_SCHEMA)
+        assert "must be >= 1" in str(err.value)
+        with pytest.raises(SchemaError) as err:
+            validate({"spec": {}, "workers": 65}, SUBMIT_SCHEMA)
+        assert "must be <= 64" in str(err.value)
+        with pytest.raises(SchemaError):
+            validate({"spec": {}, "retries": 17}, SUBMIT_SCHEMA)
+
+    def test_enum(self):
+        validate({"spec": {}, "kernel_variant": "generic"}, SUBMIT_SCHEMA)
+        with pytest.raises(SchemaError) as err:
+            validate({"spec": {}, "kernel_variant": "turbo"}, SUBMIT_SCHEMA)
+        assert "'turbo'" in str(err.value)
+
+    def test_items_recursion_names_index(self):
+        schema = {"type": "array", "items": {"type": "integer"}}
+        validate([1, 2, 3], schema)
+        with pytest.raises(SchemaError) as err:
+            validate([1, "two", 3], schema, path="body.seeds")
+        assert err.value.path == "body.seeds[1]"
+
+    def test_nested_path_in_message(self):
+        schema = {
+            "type": "object",
+            "properties": {"inner": {"type": "object",
+                                     "properties": {"n": {"type": "integer"}}}},
+        }
+        with pytest.raises(SchemaError) as err:
+            validate({"inner": {"n": "x"}}, schema)
+        assert err.value.path == "body.inner.n"
+
+    def test_cancel_schema_rejects_payloads(self):
+        with pytest.raises(SchemaError):
+            validate({"force": True}, CANCEL_SCHEMA)
+
+
+class TestFormatSSE:
+    def test_wire_format(self):
+        wire = format_sse((7, "point", {"b": 2, "a": 1}))
+        assert wire == b'id: 7\nevent: point\ndata: {"a":1,"b":2}\n\n'
+
+    def test_data_is_single_line(self):
+        wire = format_sse((1, "x", {"text": "line1\nline2"}))
+        # the newline lives escaped inside the JSON, never on the wire
+        assert wire.count(b"\n") == 4
+        body = wire.split(b"data: ")[1].rstrip(b"\n")
+        assert json.loads(body) == {"text": "line1\nline2"}
+
+    def test_is_terminal(self):
+        assert is_terminal("done") and is_terminal("failed")
+        assert is_terminal("cancelled")
+        assert not is_terminal("point") and not is_terminal("table")
+
+
+def drive(coro):
+    """Run a coroutine on a fresh event loop (3.9-safe)."""
+    return asyncio.new_event_loop().run_until_complete(coro)
+
+
+async def collect(broadcaster, limit=None):
+    events = []
+    stream = broadcaster.subscribe()
+    try:
+        async for event in stream:
+            events.append(event)
+            if limit is not None and len(events) >= limit:
+                break
+    finally:
+        await stream.aclose()
+    return events
+
+
+class TestEventBroadcaster:
+    def test_replay_then_live_with_monotonic_ids(self):
+        async def scenario():
+            broadcaster = EventBroadcaster(asyncio.get_running_loop())
+            broadcaster.publish("queued", {"n": 1})
+            broadcaster.publish("running", {"n": 2})
+            await asyncio.sleep(0)  # let call_soon_threadsafe land
+
+            late = asyncio.ensure_future(collect(broadcaster))
+            await asyncio.sleep(0)
+            broadcaster.publish("point", {"n": 3})
+            broadcaster.publish("done", {"n": 4})
+            broadcaster.close()
+            return await late
+
+        events = drive(scenario())
+        assert [(eid, name) for eid, name, _d in events] == [
+            (1, "queued"), (2, "running"), (3, "point"), (4, "done"),
+        ]
+
+    def test_subscriber_after_close_gets_full_history(self):
+        async def scenario():
+            broadcaster = EventBroadcaster(asyncio.get_running_loop())
+            broadcaster.publish("queued", {})
+            broadcaster.publish("done", {})
+            broadcaster.close()
+            await asyncio.sleep(0)
+            assert broadcaster.closed
+            return await collect(broadcaster)
+
+        events = drive(scenario())
+        assert [name for _eid, name, _d in events] == ["queued", "done"]
+
+    def test_publish_after_close_is_dropped(self):
+        async def scenario():
+            broadcaster = EventBroadcaster(asyncio.get_running_loop())
+            broadcaster.publish("done", {})
+            broadcaster.close()
+            broadcaster.publish("straggler", {})
+            await asyncio.sleep(0)
+            return broadcaster.history()
+
+        history = drive(scenario())
+        assert [name for _eid, name, _d in history] == ["done"]
+
+    def test_reset_clears_history_but_ids_keep_increasing(self):
+        async def scenario():
+            broadcaster = EventBroadcaster(asyncio.get_running_loop())
+            broadcaster.publish("queued", {})
+            broadcaster.publish("done", {})
+            broadcaster.close()
+            broadcaster.reset()
+            broadcaster.publish("queued", {"run": 2})
+            await asyncio.sleep(0)
+            return broadcaster.history()
+
+        history = drive(scenario())
+        assert [(eid, name) for eid, name, _d in history] == [(3, "queued")]
+
+    def test_reset_releases_stuck_subscribers(self):
+        async def scenario():
+            broadcaster = EventBroadcaster(asyncio.get_running_loop())
+            broadcaster.publish("queued", {})
+            await asyncio.sleep(0)
+            subscriber = asyncio.ensure_future(collect(broadcaster))
+            await asyncio.sleep(0)
+            broadcaster.reset()  # no close() first: reset must release
+            return await asyncio.wait_for(subscriber, 5)
+
+        events = drive(scenario())
+        assert [name for _eid, name, _d in events] == ["queued"]
+
+    def test_slow_subscriber_does_not_block_publisher_or_peers(self):
+        async def scenario():
+            broadcaster = EventBroadcaster(asyncio.get_running_loop())
+            slow = broadcaster.subscribe()
+            fast = asyncio.ensure_future(collect(broadcaster))
+            await asyncio.sleep(0)
+            for n in range(50):
+                broadcaster.publish("point", {"n": n})
+            broadcaster.publish("done", {})
+            broadcaster.close()
+            events = await asyncio.wait_for(fast, 5)
+            # the slow subscriber never consumed anything — queues are
+            # per-subscriber and unbounded, so nobody waited on it
+            await slow.aclose()
+            return events
+
+        events = drive(scenario())
+        assert len(events) == 51
+        assert events[-1][1] == "done"
+
+    def test_history_overflow_yields_truncated_marker(self):
+        async def scenario():
+            broadcaster = EventBroadcaster(asyncio.get_running_loop())
+            extra = 5
+            for n in range(MAX_EVENT_HISTORY + extra):
+                broadcaster._publish_on_loop("point", {"n": n})
+            broadcaster._close_on_loop()
+            events = await collect(broadcaster)
+            return extra, events
+
+        extra, events = drive(scenario())
+        assert events[0][1] == "truncated"
+        assert events[0][2] == {"dropped_events": extra}
+        assert len(events) == MAX_EVENT_HISTORY + 1  # marker + retained
+
+    def test_cross_thread_publish(self):
+        async def scenario():
+            loop = asyncio.get_running_loop()
+            broadcaster = EventBroadcaster(loop)
+            subscriber = asyncio.ensure_future(collect(broadcaster))
+            await asyncio.sleep(0)
+
+            def worker():
+                for n in range(10):
+                    broadcaster.publish("point", {"n": n})
+                broadcaster.publish("done", {})
+                broadcaster.close()
+
+            thread = threading.Thread(target=worker)
+            thread.start()
+            events = await asyncio.wait_for(subscriber, 10)
+            thread.join()
+            return events
+
+        events = drive(scenario())
+        assert [d.get("n") for _eid, name, d in events if name == "point"] \
+            == list(range(10))
+        assert events[-1][1] == "done"

@@ -19,6 +19,7 @@ from repro.sweep.report import (
     load_rows,
     relative_ipc_table,
     render_markdown,
+    rows_from_records,
     write_report,
 )
 from repro.sweep.runner import run_sweep
@@ -274,3 +275,42 @@ class TestCli:
     def test_run_requires_exactly_one_spec_source(self, capsys):
         assert cli_main(["run"]) == 2
         assert "exactly one" in capsys.readouterr().err
+
+
+class TestInMemoryRendering:
+    """rows_from_records / to_csv_text: the service's in-memory paths must
+    be pinned to the CLI's file-based ones."""
+
+    def test_rows_from_records_matches_load_rows(self, populated_store):
+        via_store = load_rows(populated_store)
+        via_records = rows_from_records(populated_store.records())
+        assert via_records == via_store
+
+    def test_rows_from_records_subset(self, populated_store):
+        keys = populated_store.keys()[:3]
+        rows = rows_from_records(populated_store.get(k) for k in keys)
+        assert len(rows) == 3
+        assert rows == load_rows(populated_store)[:3]
+
+    def test_rows_from_records_error_names_where(self):
+        with pytest.raises(StoreError) as err:
+            rows_from_records([{"key": "bad"}], where="<job deadbeef>")
+        assert "<job deadbeef>" in str(err.value)
+        assert "'bad'" in str(err.value)
+
+    def test_to_csv_text_identical_to_write_csv_file(
+        self, populated_store, tmp_path
+    ):
+        for table in build_tables(load_rows(populated_store)):
+            path = str(tmp_path / f"{table.slug}.csv")
+            table.write_csv(path)
+            with open(path, "r", newline="", encoding="utf-8") as fh:
+                assert fh.read() == table.to_csv_text()
+
+    def test_render_markdown_meta_lines(self, populated_store):
+        tables = build_tables(load_rows(populated_store))
+        text = render_markdown(tables, meta={"job": "abc", "state": "done"})
+        lines = text.splitlines()
+        assert lines[0] == "# Sweep report"
+        assert "- job: abc" in lines
+        assert "- state: done" in lines

@@ -249,3 +249,89 @@ class TestTraceMemoization:
             assert t2 is not t1
         finally:
             MIX_REGISTRY.pop("memo_mix", None)
+
+
+class TestProgressHooks:
+    """The on_point_done / should_stop hooks the service is built on."""
+
+    def test_on_point_done_called_in_expansion_order(self, tmp_path):
+        spec = small_spec()
+        store = ResultStore(str(tmp_path / "store.jsonl"))
+        seen = []
+        run_sweep(spec.expand(), store, workers=1,
+                  on_point_done=lambda key, record, index:
+                  seen.append((index, key, record["key"])))
+        expected = [point.key() for point in spec.expand()]
+        assert [key for _i, key, _rk in seen] == expected
+        assert [index for index, _k, _rk in seen] == [0, 1, 2, 3]
+        # the record passed to the hook is the durably-appended one
+        assert all(key == record_key for _i, key, record_key in seen)
+
+    def test_on_point_done_does_not_change_store_bytes(self, tmp_path):
+        spec = small_spec()
+        plain = str(tmp_path / "plain.jsonl")
+        hooked = str(tmp_path / "hooked.jsonl")
+        run_sweep(spec.expand(), ResultStore(plain), workers=1)
+        run_sweep(spec.expand(), ResultStore(hooked), workers=1,
+                  on_point_done=lambda *args: None)
+        with open(plain, "rb") as fa, open(hooked, "rb") as fb:
+            assert fa.read() == fb.read()
+
+    def test_on_point_done_skips_cached_points(self, tmp_path):
+        spec = small_spec()
+        path = str(tmp_path / "store.jsonl")
+        run_sweep(spec.expand(), ResultStore(path), workers=1)
+        calls = []
+        summary = run_sweep(spec.expand(), ResultStore(path), workers=1,
+                            on_point_done=lambda *args: calls.append(args))
+        assert summary.n_cached == 4
+        assert calls == []
+
+    def test_on_point_done_expansion_order_under_pool(self, tmp_path):
+        spec = small_spec(cluster_counts=(2, 4, 8))  # 6 points >= pool floor
+        store = ResultStore(str(tmp_path / "store.jsonl"))
+        indexes = []
+        run_sweep(spec.expand(), store, workers=2,
+                  on_point_done=lambda _k, _r, index: indexes.append(index))
+        assert indexes == sorted(indexes) == list(range(6))
+
+    def test_should_stop_interrupts_with_durable_prefix(self, tmp_path):
+        import pytest
+
+        from repro.sweep.runner import SweepInterrupted
+
+        spec = small_spec()
+        path = str(tmp_path / "store.jsonl")
+        reference = str(tmp_path / "reference.jsonl")
+        run_sweep(spec.expand(), ResultStore(reference), workers=1)
+        done = []
+        store = ResultStore(path)
+        with pytest.raises(SweepInterrupted) as err:
+            run_sweep(spec.expand(), store, workers=1,
+                      on_point_done=lambda *args: done.append(args),
+                      should_stop=lambda: len(done) >= 2)
+        summary = err.value.summary
+        assert summary.interrupted
+        assert summary.n_computed == 2
+        # the flushed prefix is a byte prefix of the fault-free store...
+        with open(reference, "rb") as fh:
+            full = fh.read()
+        with open(path, "rb") as fh:
+            partial = fh.read()
+        assert full.startswith(partial) and len(partial) < len(full)
+        # ...and a plain re-run resumes it to byte-identical completion
+        resumed = run_sweep(spec.expand(), ResultStore(path), workers=1)
+        assert resumed.n_cached == 2 and resumed.n_computed == 2
+        with open(path, "rb") as fh:
+            assert fh.read() == full
+
+    def test_should_stop_false_is_a_no_op(self, tmp_path):
+        spec = small_spec()
+        plain = str(tmp_path / "plain.jsonl")
+        guarded = str(tmp_path / "guarded.jsonl")
+        run_sweep(spec.expand(), ResultStore(plain), workers=1)
+        summary = run_sweep(spec.expand(), ResultStore(guarded), workers=1,
+                            should_stop=lambda: False)
+        assert summary.n_computed == 4 and not summary.interrupted
+        with open(plain, "rb") as fa, open(guarded, "rb") as fb:
+            assert fa.read() == fb.read()

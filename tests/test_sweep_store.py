@@ -196,3 +196,120 @@ class TestRecovery:
         reloaded = ResultStore(path)
         assert reloaded.recovered_bytes == 0
         assert sorted(reloaded.keys()) == ["a", "b", "d"]
+
+
+class TestReadRecord:
+    """read_record: point lookups that see other writers' appends."""
+
+    def test_hit_from_memory(self, tmp_path):
+        store = ResultStore(str(tmp_path / "s.jsonl"))
+        store.append(record("a", 1))
+        assert store.read_record("a") == record("a", 1)
+
+    def test_missing_key_returns_default(self, tmp_path):
+        store = ResultStore(str(tmp_path / "s.jsonl"))
+        assert store.read_record("nope") is None
+        assert store.read_record("nope", default={"x": 1}) == {"x": 1}
+        store.append(record("a"))
+        assert store.read_record("nope") is None
+
+    def test_sees_record_appended_by_another_writer(self, tmp_path):
+        path = str(tmp_path / "s.jsonl")
+        reader = ResultStore(path)
+        writer = ResultStore(path)
+        writer.append(record("a", 1))
+        assert reader.get("a") is None  # plain get: in-memory view only
+        assert reader.read_record("a") == record("a", 1)
+        # and the reload also refreshed the rest of the view
+        assert reader.get("a") == record("a", 1)
+
+    def test_torn_tail_is_invisible_then_appears(self, tmp_path):
+        path = str(tmp_path / "s.jsonl")
+        writer = ResultStore(path)
+        writer.append(record("a", 1))
+        reader = ResultStore(path)
+        # simulate the writer's next record in flight: bytes down, no
+        # newline yet
+        import json as _json
+
+        line = _json.dumps(record("b", 2), sort_keys=True,
+                           separators=(",", ":"))
+        with open(path, "a", encoding="utf-8") as fh:
+            fh.write(line)
+        assert reader.read_record("b") is None
+        assert reader.read_record("a") == record("a", 1)
+        with open(path, "a", encoding="utf-8") as fh:
+            fh.write("\n")
+        assert reader.read_record("b") == record("b", 2)
+
+    def test_read_record_never_mutates_the_file(self, tmp_path):
+        path = str(tmp_path / "s.jsonl")
+        writer = ResultStore(path)
+        writer.append(record("a", 1))
+        with open(path, "a", encoding="utf-8") as fh:
+            fh.write('{"key": "torn"')  # unterminated tail
+        with open(path, "rb") as fh:
+            before = fh.read()
+        reader = ResultStore(path)
+        assert reader.read_record("torn") is None
+        assert reader.read_record("missing") is None
+        with open(path, "rb") as fh:
+            assert fh.read() == before
+
+    def test_stat_shortcut_skips_reload_when_size_unchanged(
+        self, tmp_path, monkeypatch
+    ):
+        path = str(tmp_path / "s.jsonl")
+        store = ResultStore(path)
+        store.append(record("a", 1))
+        calls = []
+        original = ResultStore._load_locked
+
+        def counting(self):
+            calls.append(1)
+            return original(self)
+
+        monkeypatch.setattr(ResultStore, "_load_locked", counting)
+        assert store.read_record("missing") is None
+        assert store.read_record("missing") is None
+        assert calls == []  # size matched _seen_size: no re-read
+
+    def test_concurrent_reader_while_appender(self, tmp_path):
+        """A reader thread polling read_record during a burst of appends
+        must only ever see fully-written records, and must eventually see
+        all of them."""
+        import threading
+
+        path = str(tmp_path / "s.jsonl")
+        writer = ResultStore(path)
+        reader = ResultStore(path)
+        n = 200
+        stop = threading.Event()
+        seen = set()
+        errors = []
+
+        def poll():
+            while not stop.is_set() or len(seen) < n:
+                for i in range(n):
+                    key = f"k{i}"
+                    got = reader.read_record(key)
+                    if got is not None:
+                        if got != record(key, i):
+                            errors.append((key, got))
+                        seen.add(key)
+                if stop.is_set() and len(seen) < n:
+                    # writer done: one final sweep must find everything
+                    for i in range(n):
+                        if reader.read_record(f"k{i}") is not None:
+                            seen.add(f"k{i}")
+                    break
+
+        thread = threading.Thread(target=poll)
+        thread.start()
+        for i in range(n):
+            writer.append(record(f"k{i}", i))
+        stop.set()
+        thread.join(timeout=60)
+        assert not thread.is_alive()
+        assert not errors
+        assert len(seen) == n
