@@ -33,6 +33,27 @@ class StoreError(ReproError):
     """
 
 
+class StoreConflictError(StoreError):
+    """Two records claim the same content key with different bytes.
+
+    Content keys hash the full experiment point and engine version, so two
+    *honest* computations of one key serialize to identical canonical JSON.
+    A conflict therefore means corruption or a defective/lying producer
+    (a bad peer, a tampered store file) — merging either side silently
+    would poison the byte-identity guarantee, so the merge refuses.
+    """
+
+
+class FabricError(ReproError):
+    """The distributed sweep fabric could not complete a run.
+
+    Raised when a shard exhausts its requeue budget across every available
+    backend, or the fabric is configured without any backend at all.  The
+    coordinator's store keeps its flushed expansion-order prefix, so a
+    re-run resumes from where the failure stopped it.
+    """
+
+
 class SimulationError(ReproError):
     """The cycle-level simulation reached an inconsistent state.
 

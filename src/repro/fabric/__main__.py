@@ -1,0 +1,8 @@
+"""Entry point: ``python -m repro.fabric``."""
+
+import sys
+
+from repro.fabric.cli import main
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,114 @@
+"""Per-backend health state machine for the distributed sweep fabric.
+
+Each backend carries a tiny four-state machine driven only by the
+coordinator's own observations (shard successes and failures — there is no
+gossip, no external failure detector):
+
+::
+
+    alive ──failure──▶ suspect ──failures──▶ dead
+      ▲                   │                   │ cooldown
+      │                   └──success──▶ alive │
+      └──success── probation ◀────────────────┘
+                      │
+                      └──failure──▶ dead (cooldown restarts)
+
+* **alive** — the default; the backend takes shards normally.
+* **suspect** — one or more recent failures, but below the dead
+  threshold.  Still schedulable: a single refused connection must not
+  bench a peer that is merely restarting.
+* **dead** — ``dead_after`` *consecutive* failures.  Not schedulable;
+  its in-flight shards get requeued elsewhere by lease expiry.
+* **probation** — a dead backend past its cooldown.  Schedulable again
+  for a trial shard: success re-admits it to ``alive``, any failure sends
+  it straight back to ``dead`` and restarts the cooldown, so a flapping
+  peer costs the fabric at most one requeued shard per cooldown period.
+
+The clock is injectable so tests drive cooldowns without sleeping.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Callable, Dict
+
+ALIVE = "alive"
+SUSPECT = "suspect"
+DEAD = "dead"
+PROBATION = "probation"
+
+#: Every state, for introspection/tests.
+STATES = (ALIVE, SUSPECT, DEAD, PROBATION)
+
+
+class BackendHealth:
+    """Failure-driven availability tracking for one backend."""
+
+    def __init__(self, name: str, dead_after: int = 3,
+                 cooldown_s: float = 10.0,
+                 clock: Callable[[], float] = time.monotonic) -> None:
+        if dead_after < 1:
+            raise ValueError(f"dead_after must be >= 1, got {dead_after}")
+        self.name = name
+        self.dead_after = dead_after
+        self.cooldown_s = cooldown_s
+        self._clock = clock
+        self._state = ALIVE
+        self._consecutive_failures = 0
+        self._died_at = 0.0
+        self.n_successes = 0
+        self.n_failures = 0
+        self.n_probations = 0
+
+    # -- observations ------------------------------------------------------
+    def record_success(self) -> None:
+        """A shard (or probe) completed on this backend."""
+        self.n_successes += 1
+        self._consecutive_failures = 0
+        self._state = ALIVE
+
+    def record_failure(self) -> None:
+        """A shard failed, a lease expired, or an RPC was exhausted."""
+        self.n_failures += 1
+        self._consecutive_failures += 1
+        if self._state == PROBATION:
+            # The trial failed: back to dead, cooldown restarts.
+            self._state = DEAD
+            self._died_at = self._clock()
+        elif self._consecutive_failures >= self.dead_after:
+            self._state = DEAD
+            self._died_at = self._clock()
+        else:
+            self._state = SUSPECT
+
+    # -- queries -----------------------------------------------------------
+    @property
+    def state(self) -> str:
+        self._maybe_promote()
+        return self._state
+
+    def available(self) -> bool:
+        """May the coordinator hand this backend a shard right now?"""
+        return self.state != DEAD
+
+    def _maybe_promote(self) -> None:
+        if self._state == DEAD and \
+                self._clock() - self._died_at >= self.cooldown_s:
+            self._state = PROBATION
+            self.n_probations += 1
+
+    def status(self) -> Dict[str, Any]:
+        return {
+            "name": self.name,
+            "state": self.state,
+            "consecutive_failures": self._consecutive_failures,
+            "n_successes": self.n_successes,
+            "n_failures": self.n_failures,
+            "n_probations": self.n_probations,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"BackendHealth({self.name!r}, {self.state})"
+
+
+__all__ = ["ALIVE", "BackendHealth", "DEAD", "PROBATION", "STATES", "SUSPECT"]

@@ -1,0 +1,408 @@
+"""Shard scheduler: leases, failover, and the deterministic merger.
+
+The coordinator turns one sweep spec into the same store bytes a
+single-host ``python -m repro.sweep run`` would produce, using however
+many backends happen to survive.  The pieces:
+
+**Planning.**  The spec is expanded and deduped into the canonical
+expansion-order point list (exactly as the pool runner and the service do
+it).  Points already in the store are cache hits; the remaining pending
+points — which always form contiguous runs, because the store is an
+expansion-order prefix plus whatever earlier fabric runs merged — are
+chopped into contiguous :class:`~repro.fabric.backends.Shard` ranges of at
+most ``shard_size`` points.
+
+**Dispatch under lease.**  Each shard is handed to one available backend
+(health-gated, one shard per backend at a time) on a worker thread.  The
+backend's progress callbacks renew the shard's lease; a lease that misses
+heartbeats for ``lease_timeout_s`` is declared expired — the backend is
+charged a failure, and the shard is requeued for a surviving backend.
+Delivery is therefore *at least once*; a stale worker that eventually
+finishes anyway is harmless, because its result is accepted only if the
+shard is still open, and record-level dedup (content keys + byte-identical
+merge) makes duplicates invisible.
+
+**Deterministic merge.**  Completed shards buffer in memory and are folded
+into the store strictly in shard order (a merge frontier, the inter-host
+mirror of the runner's flush frontier).  Records therefore land in the
+file in expansion order no matter which backend finished first — this is
+what makes the final store byte-identical to the fault-free single-host
+store under any cluster shape, assignment, failover, or retry history
+(the abelian-networks property the reproduction is built around).  A
+shard that keeps failing everywhere exhausts ``max_shard_attempts`` and
+raises :class:`~repro.common.errors.FabricError`; everything merged up to
+that point stays durable, and re-running resumes from the cached prefix.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+import time
+from collections import OrderedDict, deque
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.common.errors import FabricError
+from repro.fabric.backends import PeerBackend, RunnerBackend, Shard
+from repro.fabric.health import DEAD, BackendHealth
+from repro.sweep.grid import ExperimentPoint, SweepSpec
+from repro.sweep.store import ResultStore
+
+#: Default shard size: small enough that a lost peer forfeits little work,
+#: large enough to amortise one job submission per shard.
+DEFAULT_SHARD_SIZE = 8
+
+
+@dataclass
+class FabricSummary:
+    """What one coordinated run did, across every backend."""
+
+    n_points: int                 # deduped points in the spec
+    n_cached: int                 # already in the store when the run began
+    n_computed: int               # newly merged by this run
+    n_shards: int                 # shards planned (0 on a pure cache hit)
+    n_requeues: int = 0           # shard dispatches beyond the first
+    n_expired_leases: int = 0     # leases lost to missed heartbeats
+    elapsed_s: float = 0.0
+    degraded: bool = False        # peers were configured but all ended dead
+    #: backend name -> health/status counters (shards completed included).
+    backends: Dict[str, Dict[str, Any]] = field(default_factory=dict)
+
+    @property
+    def cache_hit_rate(self) -> float:
+        return self.n_cached / self.n_points if self.n_points else 0.0
+
+    def describe(self) -> str:
+        tail = ""
+        if self.n_requeues:
+            tail += f"; {self.n_requeues} shard requeue(s)"
+        if self.n_expired_leases:
+            tail += f"; {self.n_expired_leases} lease(s) expired"
+        if self.degraded:
+            tail += "; degraded to local-only (all peers down)"
+        return (
+            f"{self.n_points} points: {self.n_cached} cached, "
+            f"{self.n_computed} computed over {self.n_shards} shard(s) "
+            f"via {len(self.backends)} backend(s) "
+            f"in {self.elapsed_s:.2f}s{tail}"
+        )
+
+
+def dedup_points(
+    points: Sequence[ExperimentPoint],
+) -> "OrderedDict[str, ExperimentPoint]":
+    """Unique points in expansion order — the canonical list every layer
+    (pool runner, service shard jobs, fabric) agrees on index by index."""
+    keyed: "OrderedDict[str, ExperimentPoint]" = OrderedDict()
+    for point in points:
+        keyed.setdefault(point.key(), point)
+    return keyed
+
+
+def plan_shards(
+    keyed: "OrderedDict[str, ExperimentPoint]",
+    store: ResultStore,
+    shard_size: int,
+) -> List[Shard]:
+    """Chop the pending (not-in-store) points into contiguous shards.
+
+    Pending indices are walked in expansion order; each maximal contiguous
+    run is split into chunks of at most ``shard_size``.  Shard ordinals
+    (``Shard.index``) number the shards in expansion order — the merge
+    frontier consumes them in exactly that order.
+    """
+    if shard_size < 1:
+        raise FabricError(f"shard_size must be >= 1, got {shard_size}")
+    items = list(keyed.items())
+    shards: List[Shard] = []
+    run_start: Optional[int] = None
+
+    def close_run(end: int) -> None:
+        nonlocal run_start
+        if run_start is None:
+            return
+        for chunk_start in range(run_start, end, shard_size):
+            chunk_stop = min(chunk_start + shard_size, end)
+            chunk = items[chunk_start:chunk_stop]
+            shards.append(Shard(
+                index=len(shards),
+                start=chunk_start,
+                stop=chunk_stop,
+                points=tuple(point for _key, point in chunk),
+                keys=tuple(key for key, _point in chunk),
+            ))
+        run_start = None
+
+    for position, (key, _point) in enumerate(items):
+        if key in store:
+            close_run(position)
+        elif run_start is None:
+            run_start = position
+    close_run(len(items))
+    return shards
+
+
+class _Lease:
+    """One shard's claim on one backend, renewed by heartbeats."""
+
+    __slots__ = ("shard", "backend", "clock", "last_beat", "expired")
+
+    def __init__(self, shard: Shard, backend: RunnerBackend,
+                 clock: Callable[[], float]) -> None:
+        self.shard = shard
+        self.backend = backend
+        self.clock = clock
+        self.last_beat = clock()
+        self.expired = False
+
+    def beat(self) -> None:
+        # A bare float store: atomic under the GIL, safe to call from the
+        # worker thread while the coordinator loop reads it.
+        self.last_beat = self.clock()
+
+
+class FabricCoordinator:
+    """Drives one spec to completion across a set of backends."""
+
+    def __init__(
+        self,
+        backends: Sequence[RunnerBackend],
+        shard_size: int = DEFAULT_SHARD_SIZE,
+        lease_timeout_s: float = 60.0,
+        max_shard_attempts: Optional[int] = None,
+        dead_after: int = 3,
+        cooldown_s: float = 10.0,
+        poll_s: float = 0.05,
+        log: Optional[Callable[[str], None]] = None,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if not backends:
+            raise FabricError(
+                "fabric needs at least one backend (local and/or peers)"
+            )
+        names = [backend.name for backend in backends]
+        if len(set(names)) != len(names):
+            raise FabricError(f"backend names must be unique, got {names}")
+        self.backends = list(backends)
+        self.shard_size = shard_size
+        self.lease_timeout_s = lease_timeout_s
+        # Every shard may fail once per backend and still complete on a
+        # second pass somewhere; beyond that the run is hopeless.
+        self.max_shard_attempts = (
+            max_shard_attempts if max_shard_attempts is not None
+            else 2 * len(self.backends) + 2
+        )
+        self.poll_s = poll_s
+        self.log = log
+        self.clock = clock
+        self.health: Dict[str, BackendHealth] = {
+            backend.name: BackendHealth(
+                backend.name, dead_after=dead_after,
+                cooldown_s=cooldown_s, clock=clock,
+            )
+            for backend in self.backends
+        }
+        #: Shards completed per backend name (summary bookkeeping).
+        self._completed_by: Dict[str, int] = {
+            backend.name: 0 for backend in self.backends
+        }
+
+    def _say(self, message: str) -> None:
+        if self.log is not None:
+            self.log(message)
+
+    def probe(self) -> Dict[str, bool]:
+        """One liveness probe per backend (does not change health state)."""
+        return {backend.name: backend.probe() for backend in self.backends}
+
+    # -- the run -----------------------------------------------------------
+    def run(self, spec: SweepSpec, store: ResultStore) -> FabricSummary:
+        """Compute every pending point of ``spec`` into ``store``.
+
+        Returns a :class:`FabricSummary`; raises
+        :class:`~repro.common.errors.FabricError` when a shard exhausts
+        its attempt budget on every available backend.  The store's merged
+        prefix is durable either way — re-running resumes from it.
+        """
+        t0 = time.monotonic()
+        keyed = dedup_points(spec.expand())
+        shards = plan_shards(keyed, store, self.shard_size)
+        n_points = len(keyed)
+        n_pending = sum(shard.n_points for shard in shards)
+        summary = FabricSummary(
+            n_points=n_points,
+            n_cached=n_points - n_pending,
+            n_computed=0,
+            n_shards=len(shards),
+        )
+        self._say(
+            f"fabric: spec {spec.name!r}: {n_points} points, "
+            f"{summary.n_cached} cached, {n_pending} pending in "
+            f"{len(shards)} shard(s) across {len(self.backends)} backend(s)"
+        )
+        if shards:
+            self._execute(spec, store, shards, summary)
+        summary.elapsed_s = time.monotonic() - t0
+        summary.backends = self._backend_stats()
+        summary.degraded = self._is_degraded()
+        return summary
+
+    def _backend_stats(self) -> Dict[str, Dict[str, Any]]:
+        stats = {}
+        for backend in self.backends:
+            entry = self.health[backend.name].status()
+            entry["kind"] = type(backend).__name__
+            entry["shards_completed"] = self._completed_by[backend.name]
+            stats[backend.name] = entry
+        return stats
+
+    def _is_degraded(self) -> bool:
+        peers = [b for b in self.backends if isinstance(b, PeerBackend)]
+        # state (not available()) on purpose: a peer in post-cooldown
+        # probation still *ended the run* dead for degradation purposes.
+        return bool(peers) and all(
+            self.health[peer.name]._state == DEAD for peer in peers
+        )
+
+    def _execute(self, spec: SweepSpec, store: ResultStore,
+                 shards: List[Shard], summary: FabricSummary) -> None:
+        pending: "deque[Shard]" = deque(shards)
+        attempts: Dict[int, int] = {shard.index: 0 for shard in shards}
+        completed: Dict[int, List[Dict[str, Any]]] = {}
+        merged_through = 0            # shards [0, merged_through) are merged
+        leases: Dict[int, _Lease] = {}   # ticket -> live lease
+        busy: set = set()                # backend names holding a lease
+        done_q: "queue.Queue[Tuple[int, Optional[List[Dict[str, Any]]], Optional[BaseException]]]" = queue.Queue()
+        tickets: Dict[int, _Lease] = {}  # every lease ever issued
+        threads: List[threading.Thread] = []
+        next_ticket = 0
+
+        def dispatch(shard: Shard, backend: RunnerBackend) -> None:
+            nonlocal next_ticket
+            ticket = next_ticket
+            next_ticket += 1
+            lease = _Lease(shard, backend, self.clock)
+            leases[ticket] = lease
+            tickets[ticket] = lease
+            busy.add(backend.name)
+            attempts[shard.index] += 1
+            self._say(
+                f"fabric: {shard.label()} -> {backend.name} "
+                f"(attempt {attempts[shard.index]})"
+            )
+
+            def work() -> None:
+                try:
+                    records = backend.run_shard(spec, shard, lease.beat)
+                except BaseException as exc:
+                    done_q.put((ticket, None, exc))
+                else:
+                    done_q.put((ticket, records, None))
+
+            thread = threading.Thread(
+                target=work, daemon=True,
+                name=f"fabric-{backend.name}-s{shard.index}",
+            )
+            threads.append(thread)
+            thread.start()
+
+        def drop_from_pending(index: int) -> None:
+            stale = [s for s in pending if s.index == index]
+            for shard in stale:
+                pending.remove(shard)
+
+        def requeue(shard: Shard, reason: str) -> None:
+            if shard.index in completed:
+                return
+            if attempts[shard.index] >= self.max_shard_attempts:
+                raise FabricError(
+                    f"{shard.label()} failed {attempts[shard.index]} "
+                    f"time(s) across the fabric (last: {reason}); giving "
+                    f"up — {merged_through} shard(s) are merged and "
+                    "durable, re-run to resume"
+                )
+            summary.n_requeues += 1
+            pending.append(shard)
+            self._say(f"fabric: requeueing {shard.label()}: {reason}")
+
+        while merged_through < len(shards):
+            # Dispatch to every free, healthy backend.
+            for backend in self.backends:
+                if not pending:
+                    break
+                if backend.name in busy:
+                    continue
+                if not self.health[backend.name].available():
+                    continue
+                dispatch(pending.popleft(), backend)
+
+            # Wait for one completion (or just tick).
+            try:
+                ticket, records, exc = done_q.get(timeout=self.poll_s)
+            except queue.Empty:
+                pass
+            else:
+                lease = tickets[ticket]
+                shard, backend = lease.shard, lease.backend
+                if not lease.expired:
+                    leases.pop(ticket, None)
+                    busy.discard(backend.name)
+                if exc is None and records is not None:
+                    # A late result from an expired lease is still a
+                    # success — accepted iff the shard is still open
+                    # (at-least-once; the merge dedups the rest).
+                    self.health[backend.name].record_success()
+                    if shard.index not in completed:
+                        completed[shard.index] = records
+                        self._completed_by[backend.name] += 1
+                        drop_from_pending(shard.index)
+                else:
+                    self.health[backend.name].record_failure()
+                    self._say(
+                        f"fabric: {shard.label()} failed on "
+                        f"{backend.name}: {exc}"
+                    )
+                    if not lease.expired:
+                        requeue(shard, f"{type(exc).__name__}: {exc}")
+
+            # Expire leases that stopped heartbeating.
+            now = self.clock()
+            for ticket, lease in list(leases.items()):
+                if now - lease.last_beat <= self.lease_timeout_s:
+                    continue
+                lease.expired = True
+                del leases[ticket]
+                busy.discard(lease.backend.name)
+                self.health[lease.backend.name].record_failure()
+                summary.n_expired_leases += 1
+                requeue(
+                    lease.shard,
+                    f"lease expired on {lease.backend.name} "
+                    f"(no heartbeat for {self.lease_timeout_s:.1f}s)",
+                )
+
+            # Merge frontier: fold finished shards in, strictly in order.
+            while merged_through < len(shards) and \
+                    merged_through in completed:
+                records = completed[merged_through]
+                summary.n_computed += store.merge(records)
+                self._say(
+                    f"fabric: merged {shards[merged_through].label()} "
+                    f"({len(records)} record(s))"
+                )
+                merged_through += 1
+
+        # Give promptly-finishing workers a moment to park; stragglers are
+        # daemon threads blocked in bounded (timeout-bearing) I/O.
+        for thread in threads:
+            thread.join(timeout=0.2)
+
+
+__all__ = [
+    "DEFAULT_SHARD_SIZE",
+    "FabricCoordinator",
+    "FabricSummary",
+    "dedup_points",
+    "plan_shards",
+]

@@ -7,6 +7,21 @@ anything if it is *tested* against real failure modes, so this module gives
 tests and the CI chaos job a way to inject the three that matter — worker
 exceptions, hung workers, and hard worker death — deterministically:
 
+Two independent plans live here:
+
+* :class:`FaultPlan` sabotages *point execution* (worker exceptions, hangs,
+  hard deaths) through :func:`maybe_inject`, hooked inside
+  :func:`repro.sweep.runner.execute_point`.
+* :class:`NetworkFaultPlan` sabotages *peer RPCs* (connection refused,
+  mid-body disconnects, stalled responses, truncated/corrupted result
+  bytes, flapping peers) through :func:`net_fault_action` /
+  :func:`inject_net_fault`, hooked inside
+  :class:`repro.service.client.ServiceClient` — which is how the
+  distributed fabric's whole transport layer is chaos-tested the same way
+  the pool runner already is.
+
+The point-plan machinery:
+
 * A :class:`FaultPlan` decides, per ``(point key, attempt)``, whether to
   inject and what.  Decisions are pure functions of the plan's ``seed`` and
   the point key (sha256-derived, not Python's randomized ``hash``), so the
@@ -301,6 +316,296 @@ def maybe_inject(
     )
 
 
+# -- network faults --------------------------------------------------------
+#: Environment variable read by :func:`active_net_plan`: a JSON object with
+#: :meth:`NetworkFaultPlan.from_dict` keys.  Like :data:`ENV_VAR`, it lets
+#: the CI chaos job arm the fabric's transport without any CLI flag.
+NET_ENV_VAR = "REPRO_NET_FAULTS"
+
+#: Network injection actions.  ``refuse`` fails before anything is sent
+#: (connection refused); ``disconnect`` kills the connection after the
+#: request went out (mid-body reset — the caller cannot know whether the
+#: server acted); ``stall`` blocks for ``stall_s`` and then times out;
+#: ``corrupt`` delivers the response with truncated/flipped bytes (the
+#: receiver's digest validation must catch it); ``flap`` is a peer that is
+#: down across *every* sabotaged attempt of the operation, not just one —
+#: transient retry cannot ride it out, only failover can.  ``ok`` is only
+#: meaningful inside scripted action lists.
+NET_REFUSE = "refuse"
+NET_DISCONNECT = "disconnect"
+NET_STALL = "stall"
+NET_CORRUPT = "corrupt"
+NET_FLAP = "flap"
+NET_OK = "ok"
+_NET_ACTIONS = (NET_REFUSE, NET_DISCONNECT, NET_STALL, NET_CORRUPT,
+                NET_FLAP, NET_OK)
+
+
+class InjectedNetworkFault(ConnectionError):
+    """Raised for injected ``refuse``/``flap``/``disconnect`` faults.
+
+    A :class:`ConnectionError` (hence :class:`OSError`) subclass on
+    purpose: the client's transient-retry layer must treat injected faults
+    exactly like the real network errors they stand in for, without any
+    knowledge of this module.
+    """
+
+
+class InjectedNetworkTimeout(TimeoutError):
+    """Raised after an injected ``stall`` fault's sleep elapses.
+
+    A :class:`TimeoutError` (hence :class:`OSError`) subclass, matching
+    what a socket timeout raises on a genuinely stalled response.
+    """
+
+
+@dataclass(frozen=True)
+class NetworkFaultPlan:
+    """A seeded, serializable schedule of peer-RPC faults.
+
+    Decisions are pure functions of ``(seed, peer, op, attempt)`` — the
+    same plan injects the same faults in every process and at every
+    cluster shape, which is what lets chaos runs assert byte-identical
+    merged stores.  ``*_rate`` values are per-attempt probabilities (sum
+    at most 1); ``flap_rate`` is drawn once per ``(peer, op)`` and, when
+    it fires, makes every attempt up to ``max_faults_per_op`` refuse.
+    ``max_faults_per_op`` caps sabotaged attempts per operation, so any
+    retry budget above it is guaranteed to converge.  ``scripted`` pins
+    exact per-attempt actions for chosen ``"peer op"`` keys, taking
+    precedence over the seeded draw.
+    """
+
+    seed: int = 0
+    refuse_rate: float = 0.0
+    disconnect_rate: float = 0.0
+    stall_rate: float = 0.0
+    corrupt_rate: float = 0.0
+    flap_rate: float = 0.0
+    max_faults_per_op: int = 2
+    stall_s: float = 5.0
+    scripted: Tuple[Tuple[str, Tuple[str, ...]], ...] = ()
+
+    def __post_init__(self) -> None:
+        if isinstance(self.scripted, Mapping):
+            normalized = tuple(
+                (key, tuple(actions)) for key, actions in self.scripted.items()
+            )
+        else:
+            normalized = tuple(
+                (key, tuple(actions)) for key, actions in self.scripted
+            )
+        object.__setattr__(self, "scripted", normalized)
+        rate_names = ("refuse_rate", "disconnect_rate", "stall_rate",
+                      "corrupt_rate", "flap_rate")
+        for rate_name in rate_names:
+            rate = getattr(self, rate_name)
+            if not 0.0 <= rate <= 1.0:
+                raise ConfigurationError(
+                    f"NetworkFaultPlan.{rate_name} must be in [0, 1], "
+                    f"got {rate!r}"
+                )
+        total = (self.refuse_rate + self.disconnect_rate + self.stall_rate
+                 + self.corrupt_rate)
+        if total > 1.0:
+            raise ConfigurationError(
+                "NetworkFaultPlan per-attempt rates must sum to at most 1, "
+                f"got {total}"
+            )
+        if self.max_faults_per_op < 0:
+            raise ConfigurationError(
+                "NetworkFaultPlan.max_faults_per_op must be non-negative, "
+                f"got {self.max_faults_per_op}"
+            )
+        if self.stall_s < 0:
+            raise ConfigurationError(
+                f"NetworkFaultPlan.stall_s must be non-negative, "
+                f"got {self.stall_s}"
+            )
+        for key, actions in self.scripted:
+            for action in actions:
+                if action not in _NET_ACTIONS:
+                    raise ConfigurationError(
+                        f"NetworkFaultPlan.scripted[{key!r}]: unknown action "
+                        f"{action!r}; valid: {list(_NET_ACTIONS)}"
+                    )
+
+    # -- decisions --------------------------------------------------------
+    def decide(self, peer: str, op: str, attempt: int) -> Optional[str]:
+        """Action to inject for ``attempt`` (1-based) of ``op`` at ``peer``.
+
+        Scripted entries are keyed ``"{peer} {op}"``.  Attempts beyond
+        ``max_faults_per_op`` (or past the end of a script) always run
+        clean.
+        """
+        if attempt < 1:
+            raise ConfigurationError(
+                f"NetworkFaultPlan.decide: attempt is 1-based, got {attempt}"
+            )
+        key = f"{peer} {op}"
+        for scripted_key, actions in self.scripted:
+            if scripted_key == key:
+                if attempt <= len(actions) and actions[attempt - 1] != NET_OK:
+                    return actions[attempt - 1]
+                return None
+        if attempt > self.max_faults_per_op:
+            return None
+        # Flap is an op-level condition: one draw decides whether the peer
+        # is down for this operation's whole sabotage window, so retrying
+        # the same op cannot succeed until the attempt cap lifts it —
+        # forcing the caller to fail over instead of waiting it out.
+        if self.flap_rate and _unit(self.seed, f"flap|{key}", 0) < self.flap_rate:
+            return NET_FLAP
+        draw = _unit(self.seed, f"net|{key}", attempt)
+        if draw < self.refuse_rate:
+            return NET_REFUSE
+        if draw < self.refuse_rate + self.disconnect_rate:
+            return NET_DISCONNECT
+        if draw < self.refuse_rate + self.disconnect_rate + self.stall_rate:
+            return NET_STALL
+        if draw < (self.refuse_rate + self.disconnect_rate + self.stall_rate
+                   + self.corrupt_rate):
+            return NET_CORRUPT
+        return None
+
+    # -- serialization ----------------------------------------------------
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "seed": self.seed,
+            "refuse_rate": self.refuse_rate,
+            "disconnect_rate": self.disconnect_rate,
+            "stall_rate": self.stall_rate,
+            "corrupt_rate": self.corrupt_rate,
+            "flap_rate": self.flap_rate,
+            "max_faults_per_op": self.max_faults_per_op,
+            "stall_s": self.stall_s,
+            "scripted": {key: list(actions) for key, actions in self.scripted},
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "NetworkFaultPlan":
+        allowed = {f.name for f in fields(cls)}
+        unknown = sorted(set(data) - allowed)
+        if unknown:
+            raise ConfigurationError(
+                f"NetworkFaultPlan.from_dict: unknown key(s) {unknown}; "
+                f"valid keys: {sorted(allowed)}"
+            )
+        return cls(**dict(data))
+
+    def to_env(self) -> str:
+        """JSON form for the :data:`NET_ENV_VAR` environment variable."""
+        return json.dumps(self.to_dict(), sort_keys=True)
+
+
+#: Network plan installed in-process (takes precedence over the env).
+_net_installed: Optional[NetworkFaultPlan] = None
+#: Memoized parse of the env var: ``(raw string, parsed plan)``.
+_net_env_cache: Tuple[Optional[str], Optional[NetworkFaultPlan]] = (None, None)
+
+
+def install_net_plan(plan: NetworkFaultPlan) -> None:
+    """Activate a network fault plan in this process (tests)."""
+    global _net_installed
+    if not isinstance(plan, NetworkFaultPlan):
+        raise ConfigurationError(
+            f"install_net_plan expects a NetworkFaultPlan, "
+            f"got {type(plan).__name__}"
+        )
+    _net_installed = plan
+
+
+def clear_net_plan() -> None:
+    """Deactivate any in-process network plan (the env still applies)."""
+    global _net_installed
+    _net_installed = None
+
+
+def active_net_plan() -> Optional[NetworkFaultPlan]:
+    """The network plan in effect: installed first, then :data:`NET_ENV_VAR`."""
+    if _net_installed is not None:
+        return _net_installed
+    raw = os.environ.get(NET_ENV_VAR)
+    if not raw:
+        return None
+    global _net_env_cache
+    if _net_env_cache[0] == raw:
+        return _net_env_cache[1]
+    try:
+        data = json.loads(raw)
+    except json.JSONDecodeError as exc:
+        raise ConfigurationError(
+            f"{NET_ENV_VAR} is not valid JSON: {exc}"
+        ) from exc
+    if not isinstance(data, dict):
+        raise ConfigurationError(
+            f"{NET_ENV_VAR} must be a JSON object, got {type(data).__name__}"
+        )
+    plan = NetworkFaultPlan.from_dict(data)
+    _net_env_cache = (raw, plan)
+    return plan
+
+
+def net_fault_action(peer: str, op: str, attempt: int) -> Optional[str]:
+    """The active plan's decision for this RPC attempt (no side effects).
+
+    The client asks *before* the request so pre-flight faults can fire,
+    then applies post-flight actions itself: ``disconnect`` after the
+    request went out, ``corrupt`` to the received bytes (see
+    :func:`corrupt_bytes`).  Returns ``None`` when no plan is active.
+    """
+    plan = active_net_plan()
+    if plan is None:
+        return None
+    return plan.decide(peer, op, attempt)
+
+
+def inject_net_fault(action: str, peer: str, op: str, attempt: int) -> None:
+    """Raise the exception an injected pre/mid-flight ``action`` stands for.
+
+    ``refuse``/``flap`` → :class:`InjectedNetworkFault` (connection
+    refused); ``disconnect`` → :class:`InjectedNetworkFault` (reset);
+    ``stall`` → sleep the plan's ``stall_s``, then
+    :class:`InjectedNetworkTimeout`.  ``corrupt`` is not raised here — the
+    caller applies :func:`corrupt_bytes` to the payload instead, because a
+    corruption that never reaches the validator tests nothing.
+    """
+    where = f"{op} at {peer} (attempt {attempt})"
+    if action in (NET_REFUSE, NET_FLAP):
+        raise InjectedNetworkFault(
+            f"injected connection refused ({action}) for {where}"
+        )
+    if action == NET_DISCONNECT:
+        raise InjectedNetworkFault(
+            f"injected mid-body disconnect for {where}"
+        )
+    if action == NET_STALL:
+        plan = active_net_plan()
+        time.sleep(plan.stall_s if plan is not None else 0.0)
+        raise InjectedNetworkTimeout(
+            f"injected stalled response for {where}"
+        )
+    raise ConfigurationError(
+        f"inject_net_fault cannot raise for action {action!r}"
+    )
+
+
+def corrupt_bytes(payload: bytes) -> bytes:
+    """Deterministically damage ``payload`` the way a torn transfer would.
+
+    Truncates the tail (the classic mid-stream cut) and flips the high bit
+    of a middle byte (line noise / bad proxy).  Both damages are chosen to
+    be *detectable* — truncation breaks JSON framing, the flipped byte
+    breaks UTF-8 or the canonical-bytes round-trip — because the point of
+    injecting corruption is to prove the receiver's validation catches it.
+    """
+    if not payload:
+        return payload
+    cut = max(1, len(payload) - 3)
+    damaged = bytearray(payload[:cut])
+    damaged[len(damaged) // 2] ^= 0x80
+    return bytes(damaged)
+
+
 __all__ = [
     "DEATH_EXIT_CODE",
     "ENV_VAR",
@@ -310,8 +615,24 @@ __all__ = [
     "FAULT_OK",
     "FaultPlan",
     "InjectedFault",
+    "InjectedNetworkFault",
+    "InjectedNetworkTimeout",
+    "NET_CORRUPT",
+    "NET_DISCONNECT",
+    "NET_ENV_VAR",
+    "NET_FLAP",
+    "NET_OK",
+    "NET_REFUSE",
+    "NET_STALL",
+    "NetworkFaultPlan",
+    "active_net_plan",
     "active_plan",
+    "clear_net_plan",
     "clear_plan",
+    "corrupt_bytes",
+    "inject_net_fault",
+    "install_net_plan",
     "install_plan",
     "maybe_inject",
+    "net_fault_action",
 ]

@@ -1,24 +1,54 @@
-"""Small blocking client for the sweep service (tests, CI, scripts).
+"""Blocking client for the sweep service (tests, CI, fabric, scripts).
 
 Wraps :mod:`http.client` — one connection per request, matching the
 server's ``Connection: close`` discipline — and parses SSE streams into
-``(id, event, data)`` tuples.  Deliberately boring: no retries, no
-sessions, no dependencies; CI drives the whole service lifecycle through
-it and the byte-identity checks need nothing smarter.
+``(id, event, data)`` tuples.
+
+Transient-error handling, which the distributed fabric leans on:
+
+* every request retries connection-level failures (refused, reset, timed
+  out) with capped exponential backoff — safe for ``POST /jobs`` because
+  submissions are spec-digest idempotent (a duplicate submit dedupes onto
+  the existing job instead of starting a second run);
+* :meth:`ServiceClient.stream` survives an incomplete SSE stream by
+  reconnecting and replaying: the server resends the job's full event
+  history and the client skips every event id it has already yielded, so
+  the caller sees each event exactly once, in order, across any number of
+  mid-stream disconnects.
+
+The network chaos harness hooks in here: before each request the client
+asks :func:`repro.faults.net_fault_action` for this attempt's injected
+fault, so one seeded :class:`~repro.faults.NetworkFaultPlan` exercises
+refusals, mid-body disconnects, stalls, and corrupted payloads through
+exactly the code paths real failures would take.
 """
 
 from __future__ import annotations
 
 import json
 import time
-from http.client import HTTPConnection
+from http.client import HTTPConnection, HTTPException
 from typing import Any, Dict, Iterator, List, Optional, Tuple
 
 from repro.common.errors import ReproError
+from repro.faults import (
+    NET_CORRUPT,
+    NET_DISCONNECT,
+    corrupt_bytes,
+    inject_net_fault,
+    net_fault_action,
+)
 from repro.service.events import TERMINAL_EVENTS
 
 #: Parsed SSE event: ``(id, name, data)``.
 SSEEvent = Tuple[int, str, Dict[str, Any]]
+
+#: Exceptions treated as transient transport failures and retried.
+#: ``OSError`` covers refused/reset/timeout (and the injected network
+#: faults, which subclass it on purpose); ``HTTPException`` covers a
+#: server that died mid-response (``RemoteDisconnected``, bad status
+#: lines from a torn byte stream).
+TRANSIENT_ERRORS = (OSError, HTTPException)
 
 
 class ServiceError(ReproError):
@@ -31,17 +61,42 @@ class ServiceError(ReproError):
 
 
 class ServiceClient:
-    """Blocking HTTP client for one service instance."""
+    """Blocking HTTP client for one service instance.
 
-    def __init__(self, host: str, port: int, timeout: float = 60.0) -> None:
+    ``retries`` bounds extra delivery attempts per request (0 disables
+    retrying); ``backoff_s`` is the pause before the first retry, doubling
+    per attempt and capped at ``backoff_cap_s`` — deterministic, no
+    jitter, like the sweep runner's :class:`~repro.sweep.runner.RetryPolicy`.
+    ``peer_name`` identifies this endpoint to the network fault plan (and
+    in error messages); it defaults to ``host:port``.
+    """
+
+    def __init__(self, host: str, port: int, timeout: float = 60.0,
+                 retries: int = 2, backoff_s: float = 0.1,
+                 backoff_cap_s: float = 2.0,
+                 peer_name: Optional[str] = None) -> None:
         self.host = host
         self.port = port
         self.timeout = timeout
+        self.retries = max(0, int(retries))
+        self.backoff_s = backoff_s
+        self.backoff_cap_s = backoff_cap_s
+        self.peer_name = peer_name or f"{host}:{port}"
 
     # -- plumbing ----------------------------------------------------------
-    def _request(
-        self, method: str, path: str, body: Optional[Dict[str, Any]] = None
-    ) -> Tuple[int, bytes]:
+    def _backoff(self, failed_attempts: int) -> None:
+        delay = min(self.backoff_cap_s,
+                    self.backoff_s * (2.0 ** (failed_attempts - 1)))
+        if delay > 0:
+            time.sleep(delay)
+
+    def _request_once(self, method: str, path: str,
+                      body: Optional[Dict[str, Any]],
+                      attempt: int) -> Tuple[int, bytes]:
+        op = f"{method} {path}"
+        action = net_fault_action(self.peer_name, op, attempt)
+        if action is not None and action not in (NET_DISCONNECT, NET_CORRUPT):
+            inject_net_fault(action, self.peer_name, op, attempt)
         conn = HTTPConnection(self.host, self.port, timeout=self.timeout)
         try:
             payload = None
@@ -51,14 +106,44 @@ class ServiceClient:
                 headers["Content-Type"] = "application/json"
             conn.request(method, path, body=payload, headers=headers)
             response = conn.getresponse()
-            return response.status, response.read()
-        except OSError as exc:
-            raise ServiceError(
-                0, "unreachable",
-                f"cannot reach service at {self.host}:{self.port} ({exc})",
-            ) from exc
+            raw = response.read()
         finally:
             conn.close()
+        if action == NET_DISCONNECT:
+            # The request reached the wire before the injected reset: the
+            # server may well have acted on it.  Retrying must be safe —
+            # which it is, because every mutating endpoint is idempotent.
+            inject_net_fault(action, self.peer_name, op, attempt)
+        if action == NET_CORRUPT:
+            raw = corrupt_bytes(raw)
+        return response.status, raw
+
+    def _request(
+        self, method: str, path: str, body: Optional[Dict[str, Any]] = None,
+        attempt_offset: int = 0,
+    ) -> Tuple[int, bytes]:
+        """One request with transient-error retry.
+
+        ``attempt_offset`` shifts the attempt numbers the fault plan sees;
+        callers that re-issue a request after *application-level*
+        validation failed (the fabric refetching a corrupt record) pass
+        their own attempt count so the injected fault schedule advances
+        instead of replaying attempt 1 forever.
+        """
+        last_exc: Optional[BaseException] = None
+        for attempt in range(1, self.retries + 2):
+            try:
+                return self._request_once(method, path, body,
+                                          attempt + attempt_offset)
+            except TRANSIENT_ERRORS as exc:
+                last_exc = exc
+                if attempt <= self.retries:
+                    self._backoff(attempt)
+        raise ServiceError(
+            0, "unreachable",
+            f"cannot reach service at {self.peer_name} after "
+            f"{self.retries + 1} attempt(s) ({last_exc})",
+        ) from last_exc
 
     def _json(self, method: str, path: str,
               body: Optional[Dict[str, Any]] = None,
@@ -88,9 +173,10 @@ class ServiceClient:
 
         ``options`` pass through to the request body (``workers``,
         ``kernel_variant``, ``energy``, ``retries``, ``timeout_s``,
-        ``backoff_s``).
+        ``backoff_s``, ``shard``).
         """
-        body = dict(options)
+        body = {key: value for key, value in options.items()
+                if value is not None}
         body["spec"] = spec
         return self._json("POST", "/jobs", body)
 
@@ -104,9 +190,15 @@ class ServiceClient:
         return self._json("POST", f"/jobs/{job_id}/cancel", {},
                           ok=(200, 409))
 
-    def result(self, key: str) -> bytes:
-        """One record's canonical store bytes (including the newline)."""
-        status, raw = self._request("GET", f"/results/{key}")
+    def result(self, key: str, attempt: int = 1) -> bytes:
+        """One record's canonical store bytes (including the newline).
+
+        ``attempt`` is the caller's own 1-based fetch attempt for this
+        key; it advances the fault plan's schedule across refetches (see
+        :meth:`_request`).
+        """
+        status, raw = self._request("GET", f"/results/{key}",
+                                    attempt_offset=attempt - 1)
         if status != 200:
             raise ServiceError(status, "unknown_result",
                                raw.decode("utf-8", "replace"))
@@ -130,26 +222,19 @@ class ServiceClient:
         return self._json("GET", "/registry/mixes")["mixes"]
 
     # -- streaming ---------------------------------------------------------
-    def stream(self, job_id: str,
-               timeout: Optional[float] = None) -> Iterator[SSEEvent]:
-        """Yield the job's SSE events until its run ends.
-
-        Replays the job's event history first (subscribing late is fine),
-        then follows live events through the terminal event.
-        """
+    def _stream_once(self, job_id: str, timeout: Optional[float],
+                     attempt: int) -> Iterator[SSEEvent]:
+        """One SSE connection's events; raises on transport failure."""
+        op = f"SSE /jobs/{job_id}/events"
+        action = net_fault_action(self.peer_name, op, attempt)
+        if action is not None and action not in (NET_DISCONNECT, NET_CORRUPT):
+            inject_net_fault(action, self.peer_name, op, attempt)
         conn = HTTPConnection(self.host, self.port,
                               timeout=self.timeout if timeout is None
                               else timeout)
         try:
-            try:
-                conn.request("GET", f"/jobs/{job_id}/events")
-                response = conn.getresponse()
-            except OSError as exc:
-                raise ServiceError(
-                    0, "unreachable",
-                    f"cannot reach service at {self.host}:{self.port} "
-                    f"({exc})",
-                ) from exc
+            conn.request("GET", f"/jobs/{job_id}/events")
+            response = conn.getresponse()
             if response.status != 200:
                 raw = response.read()
                 raise ServiceError(response.status, "stream_error",
@@ -157,6 +242,7 @@ class ServiceClient:
             event_id = 0
             name = ""
             data_line = ""
+            yielded = 0
             while True:
                 line = response.readline()
                 if not line:
@@ -172,12 +258,69 @@ class ServiceClient:
                     if name:
                         yield (event_id, name,
                                json.loads(data_line) if data_line else {})
+                        yielded += 1
                         if name in TERMINAL_EVENTS:
                             return
+                        if action in (NET_DISCONNECT, NET_CORRUPT) \
+                                and yielded >= 1:
+                            # Mid-body disconnect (a corrupted frame is the
+                            # same thing to an SSE reader: the stream is
+                            # unusable from here on).
+                            inject_net_fault(NET_DISCONNECT, self.peer_name,
+                                             op, attempt)
                     name = ""
                     data_line = ""
         finally:
             conn.close()
+
+    def stream(self, job_id: str,
+               timeout: Optional[float] = None) -> Iterator[SSEEvent]:
+        """Yield the job's SSE events until its run ends, exactly once each.
+
+        Replays the job's event history first (subscribing late is fine),
+        then follows live events through the terminal event.  A stream
+        that dies mid-run (connection reset, server restart of the
+        connection) is reconnected with backoff; the server's full-history
+        replay plus client-side id dedup turn the reconnect into a seamless
+        resume from the last seen event id.  Raises :class:`ServiceError`
+        when the stream cannot be completed within the retry budget.
+        """
+        last_id = 0
+        last_exc: Optional[BaseException] = None
+        for attempt in range(1, self.retries + 2):
+            clean_end = False
+            try:
+                for event in self._stream_once(job_id, timeout, attempt):
+                    event_id, name, _data = event
+                    if event_id == 0 and name == "truncated":
+                        # Replay-truncation marker: meaningful once, noise
+                        # on every reconnect.
+                        if attempt == 1:
+                            yield event
+                        continue
+                    if event_id <= last_id:
+                        continue  # already yielded before the reconnect
+                    last_id = event_id
+                    yield event
+                    if name in TERMINAL_EVENTS:
+                        return
+                clean_end = True
+            except ServiceError:
+                raise  # structured HTTP error (404 unknown job): no retry
+            except TRANSIENT_ERRORS as exc:
+                last_exc = exc
+            if clean_end:
+                # The server ended the stream without a terminal event —
+                # a broadcaster reset between runs.  Not a transport
+                # failure: return and let the caller poll status.
+                return
+            if attempt <= self.retries:
+                self._backoff(attempt)
+        raise ServiceError(
+            0, "stream_interrupted",
+            f"SSE stream for job {job_id} at {self.peer_name} kept "
+            f"failing after {self.retries + 1} attempt(s) ({last_exc})",
+        ) from last_exc
 
     def wait(self, job_id: str, timeout: float = 300.0) -> Dict[str, Any]:
         """Block until the job's current run ends; return its final status.
@@ -187,13 +330,17 @@ class ServiceClient:
         terminal event (e.g. a server-side reset between runs).
         """
         deadline = time.monotonic() + timeout
-        for _event_id, name, _data in self.stream(job_id, timeout=timeout):
-            if name in TERMINAL_EVENTS:
-                break
-            if time.monotonic() > deadline:
-                raise ServiceError(408, "timeout",
-                                   f"job {job_id} still running after "
-                                   f"{timeout}s")
+        try:
+            for _event_id, name, _data in self.stream(job_id, timeout=timeout):
+                if name in TERMINAL_EVENTS:
+                    break
+                if time.monotonic() > deadline:
+                    raise ServiceError(408, "timeout",
+                                       f"job {job_id} still running after "
+                                       f"{timeout}s")
+        except ServiceError as exc:
+            if exc.code not in ("stream_interrupted", "unreachable"):
+                raise
         while True:
             status = self.job(job_id)
             if status["state"] not in ("queued", "running"):
@@ -205,4 +352,4 @@ class ServiceClient:
             time.sleep(0.05)
 
 
-__all__ = ["SSEEvent", "ServiceClient", "ServiceError"]
+__all__ = ["SSEEvent", "ServiceClient", "ServiceError", "TRANSIENT_ERRORS"]

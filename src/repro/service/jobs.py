@@ -23,19 +23,37 @@ Progress flows out through the runner's ``on_point_done`` hook into each
 job's :class:`~repro.service.events.EventBroadcaster`; cancellation flows
 in through ``should_stop``, riding PR 6's interrupt path (frontier
 flushed, partial prefix durable, resume-by-resubmission).
+
+Two extensions serve the distributed fabric:
+
+* **Shard jobs** carry a ``shard: {start, stop}`` half-open range and run
+  only that slice of the spec's deduped expansion-order point list — the
+  unit a :class:`~repro.fabric.scheduler.FabricCoordinator` dispatches to
+  a peer.  The shard participates in the job digest, so two shards of one
+  spec are distinct jobs and never dedupe against each other or against a
+  whole-spec run.
+* **Restart recovery**: every job's identity (spec, options, shard,
+  state) is persisted as one small JSON file next to the store.  On boot
+  the manager re-reads them; a job that was queued or running when the
+  process died is listed again with ``state: "interrupted"`` instead of
+  being forgotten, and resubmitting its spec resumes it through the
+  normal cache-hit path.
 """
 
 from __future__ import annotations
 
 import dataclasses
+import json
+import os
 import queue
 import threading
 import time
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from repro.common.errors import ReproError
-from repro.common.jsonutil import content_digest
+from repro.common.jsonutil import canonical_json, content_digest
 from repro.service.events import EventBroadcaster
+from repro.service.schemas import SchemaError
 from repro.sweep.grid import ExperimentPoint, SweepSpec
 from repro.sweep.report import relative_ipc_table, rows_from_records
 from repro.sweep.runner import (
@@ -55,6 +73,11 @@ TABLE_EVERY = 8
 #: (a resubmission starts a fresh run of the same job).
 ACTIVE_STATES = ("queued", "running")
 TERMINAL_STATES = ("done", "failed", "cancelled")
+
+#: State assigned on boot to a persisted job that was active when the
+#: previous process died.  Not in :data:`ACTIVE_STATES` — resubmitting the
+#: spec re-runs the job, and the store's cached prefix makes that a resume.
+INTERRUPTED_STATE = "interrupted"
 
 
 class ServiceUnavailable(ReproError):
@@ -91,15 +114,24 @@ class Job:
 
     def __init__(self, job_id: str, spec: SweepSpec,
                  options: Dict[str, Any],
-                 broadcaster: EventBroadcaster) -> None:
+                 broadcaster: Optional[EventBroadcaster],
+                 shard: Optional[Dict[str, int]] = None) -> None:
         self.job_id = job_id
         self.spec = spec
         self.options = options
+        # ``None`` only for jobs recovered before start(); the manager
+        # attaches a broadcaster when it binds to the event loop.
         self.broadcaster = broadcaster
+        self.shard = dict(shard) if shard else None
         self.state = "queued"
         self.created_s = time.time()
         self.run_count = 0
-        self.n_points = spec.n_points()
+        # Provisional until _execute expands the spec (a shard indexes the
+        # *deduped* point list, whose length n_points() only bounds).
+        self.n_points = (
+            max(0, min(shard["stop"], spec.n_points()) - shard["start"])
+            if shard else spec.n_points()
+        )
         self.n_cached_start = 0     # cache hits found when the run began
         self.n_done = 0             # cached_start + points flushed so far
         self.summary: Optional[SweepSummary] = None
@@ -115,6 +147,7 @@ class Job:
             "job_id": self.job_id,
             "name": self.spec.name,
             "state": self.state,
+            "shard": dict(self.shard) if self.shard else None,
             "run_count": self.run_count,
             "n_points": self.n_points,
             "n_cached_start": self.n_cached_start,
@@ -142,9 +175,18 @@ def effective_spec(body: Dict[str, Any]) -> SweepSpec:
     return spec
 
 
-def job_id_for(spec: SweepSpec) -> str:
-    """Content digest identifying a spec's job (dedup key)."""
-    return content_digest({"sweep_spec": spec.to_dict()}, 16)
+def job_id_for(spec: SweepSpec,
+               shard: Optional[Dict[str, int]] = None) -> str:
+    """Content digest identifying a spec's job (dedup key).
+
+    A shard job digests its range too — shard and whole-spec runs of one
+    spec are different units of work.  ``shard=None`` reproduces the
+    pre-shard digest exactly, so existing job ids are stable.
+    """
+    payload: Dict[str, Any] = {"sweep_spec": spec.to_dict()}
+    if shard is not None:
+        payload["shard"] = {"start": shard["start"], "stop": shard["stop"]}
+    return content_digest(payload, 16)
 
 
 class JobManager:
@@ -156,11 +198,16 @@ class JobManager:
         sweep_workers: Optional[int] = None,
         kernel_variant: Optional[str] = None,
         table_every: int = TABLE_EVERY,
+        persist_jobs: bool = True,
     ) -> None:
         self.store = ResultStore(store_path)
         self.sweep_workers = sweep_workers
         self.kernel_variant = kernel_variant
         self.table_every = max(1, table_every)
+        self.persist_jobs = persist_jobs
+        self._jobs_dir = os.path.join(
+            os.path.dirname(os.path.abspath(store_path)), "jobs"
+        )
         self.jobs: Dict[str, Job] = {}
         self._order: List[str] = []
         self._queue: "queue.Queue[Optional[Job]]" = queue.Queue()
@@ -168,11 +215,104 @@ class JobManager:
         self._loop: Optional[Any] = None
         self._thread: Optional[threading.Thread] = None
         self._draining = False
+        if persist_jobs:
+            self._recover_jobs()
+
+    # -- persistence -------------------------------------------------------
+    def _job_path(self, job_id: str) -> str:
+        return os.path.join(self._jobs_dir, f"{job_id}.json")
+
+    def _persist(self, job: Job) -> None:
+        """Write the job's identity + state atomically (tmp + replace).
+
+        Summaries and event history are deliberately *not* persisted —
+        they are per-process artifacts; what must survive a crash is
+        enough to list the job and re-run it (spec, options, shard).
+        """
+        if not self.persist_jobs:
+            return
+        record = {
+            "job_id": job.job_id,
+            "spec": job.spec.to_dict(),
+            "options": dict(job.options),
+            "shard": dict(job.shard) if job.shard else None,
+            "state": job.state,
+            "created_s": job.created_s,
+            "run_count": job.run_count,
+        }
+        # Serialized under the manager lock: the event-loop thread (submit)
+        # and the job-runner thread (run-start/settle) both persist the
+        # same job, and they must not share one tmp file unsynchronized.
+        with self._lock:
+            os.makedirs(self._jobs_dir, exist_ok=True)
+            path = self._job_path(job.job_id)
+            tmp = path + ".tmp"
+            with open(tmp, "w", encoding="utf-8") as fh:
+                fh.write(canonical_json(record) + "\n")
+                fh.flush()
+                os.fsync(fh.fileno())
+            os.replace(tmp, path)
+
+    def _recover_jobs(self) -> None:
+        """Re-list persisted jobs; active-at-crash ones become interrupted.
+
+        Malformed or torn job files are skipped (the store, not the job
+        table, is the durable truth — losing a listing is an inconvenience,
+        refusing to boot would be an outage).
+        """
+        if not os.path.isdir(self._jobs_dir):
+            return
+        recovered: List[Job] = []
+        for name in os.listdir(self._jobs_dir):
+            if not name.endswith(".json"):
+                continue
+            try:
+                with open(os.path.join(self._jobs_dir, name),
+                          encoding="utf-8") as fh:
+                    record = json.load(fh)
+                spec = SweepSpec.from_dict(record["spec"])
+                job = Job(record["job_id"], spec,
+                          dict(record.get("options") or {}),
+                          broadcaster=None,
+                          shard=record.get("shard"))
+            except (OSError, ValueError, KeyError, ReproError):
+                continue
+            job.created_s = float(record.get("created_s", 0.0))
+            job.run_count = int(record.get("run_count", 0))
+            state = record.get("state")
+            if state in ACTIVE_STATES:
+                job.state = INTERRUPTED_STATE
+                job.error = ("service restarted while this job was "
+                             f"{state}; completed points are cached in the "
+                             "store — resubmit the same spec to resume")
+            elif state in TERMINAL_STATES + (INTERRUPTED_STATE,):
+                job.state = state
+            else:
+                continue
+            recovered.append(job)
+        for job in sorted(recovered, key=lambda j: (j.created_s, j.job_id)):
+            self.jobs[job.job_id] = job
+            self._order.append(job.job_id)
 
     # -- lifecycle ---------------------------------------------------------
     def start(self, loop: Any) -> None:
         """Bind to the event loop and start the runner thread."""
         self._loop = loop
+        with self._lock:
+            for job_id in self._order:
+                job = self.jobs[job_id]
+                if job.broadcaster is None:
+                    # Recovered job: give late subscribers a history that
+                    # explains where the run went, then end the stream.
+                    job.broadcaster = EventBroadcaster(loop)
+                    job.broadcaster.publish(job.state, {
+                        "job_id": job.job_id,
+                        "state": job.state,
+                        "recovered": True,
+                        "error": job.error,
+                    })
+                    job.broadcaster.close()
+                    self._persist(job)
         self._thread = threading.Thread(
             target=self._run_jobs, name="sweep-job-runner", daemon=True
         )
@@ -208,7 +348,13 @@ class JobManager:
         cache-hit pass when the previous run completed).
         """
         spec = effective_spec(body)
-        job_id = job_id_for(spec)
+        shard = body.get("shard")
+        if shard is not None and shard["start"] >= shard["stop"]:
+            raise SchemaError(
+                "body.shard",
+                f"start ({shard['start']}) must be < stop ({shard['stop']})"
+            )
+        job_id = job_id_for(spec, shard)
         options = {
             key: body[key]
             for key in ("workers", "kernel_variant", "energy",
@@ -231,18 +377,26 @@ class JobManager:
                 job.summary = None
                 job.error = None
                 job.cancel_event = threading.Event()
-                job.broadcaster.reset()
+                if job.broadcaster is None:  # recovered before start()
+                    assert self._loop is not None, \
+                        "JobManager.start() not called"
+                    job.broadcaster = EventBroadcaster(self._loop)
+                else:
+                    job.broadcaster.reset()
                 disposition = "resubmitted"
             else:
                 assert self._loop is not None, "JobManager.start() not called"
-                job = Job(job_id, spec, options, EventBroadcaster(self._loop))
+                job = Job(job_id, spec, options,
+                          EventBroadcaster(self._loop), shard=shard)
                 self.jobs[job_id] = job
                 self._order.append(job_id)
                 disposition = "created"
+            self._persist(job)
             job.broadcaster.publish("queued", {
                 "job_id": job_id,
                 "name": spec.name,
                 "n_points": job.n_points,
+                "shard": dict(job.shard) if job.shard else None,
                 "run": job.run_count + 1,
             })
             self._queue.put(job)
@@ -289,6 +443,7 @@ class JobManager:
                     continue  # cancelled while waiting in the queue
                 job.state = "running"
                 job.run_count += 1
+                self._persist(job)
             try:
                 self._execute(job)
             except Exception as exc:  # defensive: the thread must survive
@@ -313,6 +468,7 @@ class JobManager:
         job.broadcaster.publish(state if state in TERMINAL_STATES else "done",
                                 data)
         job.broadcaster.close()
+        self._persist(job)
 
     def _point_event(self, job: Job, key: str,
                      record: Dict[str, Any], index: int) -> Dict[str, Any]:
@@ -370,6 +526,21 @@ class JobManager:
         keyed: Dict[str, ExperimentPoint] = {}
         for point in points:
             keyed.setdefault(point.key(), point)
+        if job.shard is not None:
+            # A shard indexes the deduped expansion-order list — the exact
+            # list a coordinator computed from the same spec (expansion is
+            # deterministic, so both sides agree on every index).
+            start, stop = job.shard["start"], job.shard["stop"]
+            if stop > len(keyed):
+                self._settle(job, "failed", error=(
+                    f"shard [{start}, {stop}) is out of range: spec "
+                    f"{job.spec.name!r} expands to {len(keyed)} unique "
+                    "point(s)"
+                ))
+                return
+            ordered = list(keyed.items())[start:stop]
+            keyed = dict(ordered)
+            points = [point for _key, point in ordered]
         job.point_keys = list(keyed)
         job.n_points = len(keyed)
         job.n_cached_start = sum(
@@ -381,6 +552,7 @@ class JobManager:
             "n_points": job.n_points,
             "n_cached": job.n_cached_start,
             "n_pending": job.n_points - job.n_cached_start,
+            "shard": dict(job.shard) if job.shard else None,
         })
 
         flushed_since_table = 0
@@ -446,6 +618,7 @@ class JobManager:
 
 __all__ = [
     "ACTIVE_STATES",
+    "INTERRUPTED_STATE",
     "Job",
     "JobManager",
     "ServiceUnavailable",

@@ -123,6 +123,20 @@ SUBMIT_SCHEMA: Dict[str, Any] = {
         "retries": {"type": "integer", "minimum": 0, "maximum": 16},
         "timeout_s": {"type": "number", "minimum": 0.001},
         "backoff_s": {"type": "number", "minimum": 0},
+        # Shard execution (the distributed fabric's unit of dispatch):
+        # run only the half-open slice [start, stop) of the spec's deduped
+        # expansion-order point list.  Unlike the knobs above, a shard
+        # *does* change what the job computes, so it participates in the
+        # job digest — shard jobs never dedupe against whole-spec jobs.
+        "shard": {
+            "type": "object",
+            "required": ["start", "stop"],
+            "additionalProperties": False,
+            "properties": {
+                "start": {"type": "integer", "minimum": 0},
+                "stop": {"type": "integer", "minimum": 1},
+            },
+        },
     },
 }
 

@@ -22,9 +22,9 @@ from __future__ import annotations
 import json
 import os
 import threading
-from typing import Any, Dict, Iterator, List, Optional, Tuple
+from typing import Any, Dict, Iterable, Iterator, List, Optional, Tuple
 
-from repro.common.errors import StoreError
+from repro.common.errors import StoreConflictError, StoreError
 from repro.common.jsonutil import canonical_json
 
 
@@ -154,6 +154,58 @@ class ResultStore:
             self._records[key] = record
             self.physical_records += 1
             self._seen_size += len(line.encode("utf-8")) + 1
+
+    def merge(self, records: Iterable[Dict[str, Any]]) -> int:
+        """Fold shard records in; returns how many were newly appended.
+
+        The merge discipline the distributed fabric rests on:
+
+        * a record whose key is absent is appended (in iteration order, so
+          callers control the file layout — the fabric merger feeds records
+          strictly in expansion order);
+        * a record whose key is present with **byte-identical** canonical
+          JSON is skipped silently — at-least-once delivery (a requeued
+          shard computed twice, a late result from an expired lease) is
+          expected and harmless;
+        * a record whose key is present with **different** bytes raises
+          :class:`~repro.common.errors.StoreConflictError` before anything
+          from this call is appended — a torn, corrupted, or dishonest
+          shard must never contaminate the store.
+
+        The conflict scan runs over *all* supplied records first (including
+        duplicates within the batch itself), so a failed merge leaves the
+        store exactly as it was.
+        """
+        batch: List[Tuple[str, Dict[str, Any], str]] = []
+        with self._lock:
+            staged: Dict[str, str] = {}
+            for record in records:
+                key = record.get("key")
+                if not isinstance(key, str) or not key:
+                    raise StoreError(
+                        f"result store {self.path!r}: merge record must have "
+                        f"a non-empty string 'key', got {key!r}"
+                    )
+                line = canonical_json(record)
+                existing = self._records.get(key)
+                against = (
+                    canonical_json(existing) if existing is not None
+                    else staged.get(key)
+                )
+                if against is not None:
+                    if against != line:
+                        raise StoreConflictError(
+                            f"result store {self.path!r}: conflicting record "
+                            f"for key {key!r} — existing and merged bytes "
+                            "differ; refusing to merge (corrupt or dishonest "
+                            "producer)"
+                        )
+                    continue
+                staged[key] = line
+                batch.append((key, record, line))
+            for key, record, _line in batch:
+                self.append(record)
+        return len(batch)
 
     def compact(self) -> int:
         """Rewrite the file with exactly one line per live key.

@@ -201,3 +201,156 @@ class TestMaybeInject:
         install_plan(FaultPlan(scripted={"k": [FAULT_DEATH]}))
         maybe_inject("k", 1, fatal_ok=True)
         assert exits == [faults_mod.DEATH_EXIT_CODE]
+
+
+# -- network fault plan -----------------------------------------------------
+
+from repro.faults import (  # noqa: E402  (grouped with the tests they serve)
+    NET_CORRUPT,
+    NET_ENV_VAR,
+    NET_FLAP,
+    NET_OK,
+    NET_REFUSE,
+    NET_STALL,
+    InjectedNetworkFault,
+    InjectedNetworkTimeout,
+    NetworkFaultPlan,
+    active_net_plan,
+    clear_net_plan,
+    corrupt_bytes,
+    inject_net_fault,
+    install_net_plan,
+    net_fault_action,
+)
+
+
+@pytest.fixture(autouse=True)
+def _no_leftover_net_plan(monkeypatch):
+    monkeypatch.delenv(NET_ENV_VAR, raising=False)
+    clear_net_plan()
+    yield
+    clear_net_plan()
+
+
+class TestNetworkDecide:
+    def test_no_rates_means_no_faults(self):
+        plan = NetworkFaultPlan(seed=1)
+        assert all(
+            plan.decide("p", f"GET /x{i}", attempt) is None
+            for i in range(30) for attempt in (1, 2)
+        )
+
+    def test_deterministic_across_instances(self):
+        a = NetworkFaultPlan(seed=9, refuse_rate=0.3, disconnect_rate=0.2,
+                             corrupt_rate=0.2)
+        b = NetworkFaultPlan(seed=9, refuse_rate=0.3, disconnect_rate=0.2,
+                             corrupt_rate=0.2)
+        ops = [("peer%d" % (i % 3), "GET /r%d" % i, 1 + i % 3)
+               for i in range(60)]
+        assert [a.decide(*op) for op in ops] == [b.decide(*op) for op in ops]
+
+    def test_seed_changes_decisions(self):
+        kw = dict(refuse_rate=0.4, disconnect_rate=0.3, corrupt_rate=0.3)
+        a = NetworkFaultPlan(seed=1, **kw)
+        b = NetworkFaultPlan(seed=2, **kw)
+        ops = [("p", f"GET /r{i}", 1) for i in range(80)]
+        assert [a.decide(*op) for op in ops] != [b.decide(*op) for op in ops]
+
+    def test_attempts_beyond_cap_run_clean(self):
+        plan = NetworkFaultPlan(seed=3, refuse_rate=1.0, max_faults_per_op=2)
+        assert plan.decide("p", "GET /r", 1) == NET_REFUSE
+        assert plan.decide("p", "GET /r", 2) == NET_REFUSE
+        assert plan.decide("p", "GET /r", 3) is None
+
+    def test_flap_is_sticky_per_operation(self):
+        plan = NetworkFaultPlan(seed=5, flap_rate=1.0, max_faults_per_op=3)
+        # Every capped attempt of the op sees the peer down.
+        assert [plan.decide("p", "GET /r", a) for a in (1, 2, 3)] == \
+            [NET_FLAP] * 3
+        assert plan.decide("p", "GET /r", 4) is None
+
+    def test_scripted_actions_take_precedence(self):
+        plan = NetworkFaultPlan(
+            seed=1, refuse_rate=1.0,
+            scripted={"p GET /r": (NET_OK, NET_STALL)},
+        )
+        assert plan.decide("p", "GET /r", 1) is None        # scripted ok
+        assert plan.decide("p", "GET /r", 2) == NET_STALL
+        assert plan.decide("p", "GET /r", 3) is None        # past the script
+        assert plan.decide("p", "GET /other", 1) == NET_REFUSE  # unscripted
+
+    def test_rates_must_sum_to_at_most_one(self):
+        with pytest.raises(ConfigurationError, match="sum to at most 1"):
+            NetworkFaultPlan(refuse_rate=0.6, disconnect_rate=0.6)
+
+    def test_bad_scripted_action_rejected(self):
+        with pytest.raises(ConfigurationError, match="unknown action"):
+            NetworkFaultPlan(scripted={"p GET /r": ("explode",)})
+
+    def test_attempt_is_one_based(self):
+        with pytest.raises(ConfigurationError, match="1-based"):
+            NetworkFaultPlan().decide("p", "GET /r", 0)
+
+
+class TestNetworkPlanWiring:
+    def test_roundtrip_through_dict_and_env(self, monkeypatch):
+        plan = NetworkFaultPlan(seed=4, refuse_rate=0.2, stall_rate=0.1,
+                                scripted={"p GET /r": (NET_REFUSE,)})
+        assert NetworkFaultPlan.from_dict(plan.to_dict()) == plan
+        monkeypatch.setenv(NET_ENV_VAR, plan.to_env())
+        assert active_net_plan() == plan
+
+    def test_installed_plan_beats_env(self, monkeypatch):
+        monkeypatch.setenv(
+            NET_ENV_VAR, NetworkFaultPlan(seed=1).to_env()
+        )
+        installed = NetworkFaultPlan(seed=2, refuse_rate=1.0,
+                                     max_faults_per_op=1)
+        install_net_plan(installed)
+        assert net_fault_action("p", "GET /r", 1) == NET_REFUSE
+
+    def test_no_plan_means_no_action(self):
+        assert net_fault_action("p", "GET /r", 1) is None
+
+    def test_malformed_env_raises(self, monkeypatch):
+        monkeypatch.setenv(NET_ENV_VAR, "{not json")
+        with pytest.raises(ConfigurationError, match="not valid JSON"):
+            active_net_plan()
+
+    def test_unknown_key_rejected(self):
+        with pytest.raises(ConfigurationError, match="unknown key"):
+            NetworkFaultPlan.from_dict({"nope": 1})
+
+
+class TestNetworkInjection:
+    def test_refuse_and_flap_raise_connection_error(self):
+        for action in (NET_REFUSE, NET_FLAP):
+            with pytest.raises(InjectedNetworkFault):
+                inject_net_fault(action, "p", "GET /r", 1)
+        # ...and they are OSErrors, so the client's generic transient
+        # retry handles them with no knowledge of the faults module.
+        assert issubclass(InjectedNetworkFault, OSError)
+        assert issubclass(InjectedNetworkTimeout, OSError)
+
+    def test_stall_sleeps_then_times_out(self):
+        install_net_plan(NetworkFaultPlan(stall_rate=1.0, stall_s=0.0))
+        with pytest.raises(InjectedNetworkTimeout):
+            inject_net_fault(NET_STALL, "p", "GET /r", 1)
+
+    def test_corrupt_is_not_raised(self):
+        with pytest.raises(ConfigurationError):
+            inject_net_fault(NET_CORRUPT, "p", "GET /r", 1)
+
+
+class TestCorruptBytes:
+    def test_damage_is_deterministic_and_detectable(self):
+        payload = b'{"key":"abcdef","result":{"cycles":12}}\n'
+        damaged = corrupt_bytes(payload)
+        assert damaged == corrupt_bytes(payload)
+        assert damaged != payload
+        # Truncation strips the framing newline: the validator's first
+        # check catches it.
+        assert not damaged.endswith(b"\n")
+
+    def test_empty_payload_passthrough(self):
+        assert corrupt_bytes(b"") == b""

@@ -313,3 +313,73 @@ class TestReadRecord:
         assert not thread.is_alive()
         assert not errors
         assert len(seen) == n
+
+
+class TestMerge:
+    """Shard-merge semantics the distributed fabric relies on."""
+
+    def test_merge_appends_new_records_in_order(self, tmp_path):
+        store = ResultStore(str(tmp_path / "s.jsonl"))
+        added = store.merge([record("a", 1), record("b", 2)])
+        assert added == 2
+        assert [r["key"] for r in ResultStore(store.path).records()] == \
+            ["a", "b"]
+
+    def test_duplicate_across_shards_is_silently_skipped(self, tmp_path):
+        store = ResultStore(str(tmp_path / "s.jsonl"))
+        store.merge([record("a", 1)])
+        before = open(store.path, "rb").read()
+        # A requeued shard computed "a" again — byte-identical, harmless.
+        assert store.merge([record("a", 1), record("b", 2)]) == 1
+        after = open(store.path, "rb").read()
+        assert after.startswith(before)
+        assert len(store) == 2
+
+    def test_conflicting_record_raises_named_error(self, tmp_path):
+        from repro.common.errors import StoreConflictError
+
+        store = ResultStore(str(tmp_path / "s.jsonl"))
+        store.merge([record("a", 1)])
+        with pytest.raises(StoreConflictError, match="'a'"):
+            store.merge([record("a", 999)])
+
+    def test_conflict_is_subclass_of_store_error(self):
+        from repro.common.errors import StoreConflictError
+
+        assert issubclass(StoreConflictError, StoreError)
+
+    def test_failed_merge_appends_nothing(self, tmp_path):
+        store = ResultStore(str(tmp_path / "s.jsonl"))
+        store.merge([record("a", 1)])
+        before = open(store.path, "rb").read()
+        from repro.common.errors import StoreConflictError
+        with pytest.raises(StoreConflictError):
+            # "b" precedes the conflict in the batch but must NOT land:
+            # the conflict scan runs before any append.
+            store.merge([record("b", 2), record("a", 999)])
+        assert open(store.path, "rb").read() == before
+        assert "b" not in store
+
+    def test_intra_batch_conflict_detected(self, tmp_path):
+        from repro.common.errors import StoreConflictError
+
+        store = ResultStore(str(tmp_path / "s.jsonl"))
+        with pytest.raises(StoreConflictError):
+            store.merge([record("a", 1), record("a", 2)])
+        assert len(store) == 0
+
+    def test_intra_batch_duplicate_appended_once(self, tmp_path):
+        store = ResultStore(str(tmp_path / "s.jsonl"))
+        assert store.merge([record("a", 1), record("a", 1)]) == 1
+        assert store.physical_records == 1
+
+    def test_empty_shard_merge_is_a_noop(self, tmp_path):
+        store = ResultStore(str(tmp_path / "s.jsonl"))
+        assert store.merge([]) == 0
+        assert not os.path.exists(store.path) or \
+            open(store.path, "rb").read() == b""
+
+    def test_merge_without_key_rejected(self, tmp_path):
+        store = ResultStore(str(tmp_path / "s.jsonl"))
+        with pytest.raises(StoreError, match="non-empty string 'key'"):
+            store.merge([{"value": 1}])
