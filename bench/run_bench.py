@@ -19,7 +19,15 @@ every result field across all three models — and the acceptance bars are:
 * ``generic``   >= ``--min-speedup`` x naive (default 3x, as before);
 * ``specialized`` >= ``--min-specialized-speedup`` x generic (default 1.3x;
   the full-size run comfortably clears 1.5x — CI uses the lower bar because
-  single-vCPU runners are noisy at smoke sizes).
+  single-vCPU runners are noisy at smoke sizes);
+* ``batch`` (:func:`repro.engine.simulate_batch`) >=
+  ``--min-batch-speedup`` x specialized (default 3x) in AGGREGATE
+  instructions/sec over the sweep-throughput matrix: each cell races one
+  ``simulate_batch`` call over ``--batch-lanes`` traces against a
+  specialized-kernel loop over the same traces, and the gate is the
+  summed-time ratio across all six cells (per-cell ratios are reported but
+  not individually gated — conv cells sit near 2.5x while ring cells clear
+  3.5x; the aggregate is what the sweep runner's wall-clock sees).
 
 Writes ``BENCH_engine.json`` at the repo root (override with ``--out``),
 including both variants' instr/sec so the speedup ratio is tracked over time.
@@ -46,7 +54,7 @@ sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
 
 from repro.common.config import EnergyConfig, ProcessorConfig
 from repro.common.types import Topology
-from repro.engine import KernelResult, get_kernel, simulate
+from repro.engine import KernelResult, get_kernel, simulate, simulate_batch
 from repro.sweep import ResultStore, RetryPolicy, SweepSpec, run_sweep
 from repro.workloads import generate_trace
 
@@ -201,6 +209,89 @@ def bench_matrix(trace, args, store_path: str):
     return out, sweep_meta, worst_spec_speedup
 
 
+def bench_batch_sweep(args):
+    """Batched sweep throughput: one ``simulate_batch`` call per matrix cell.
+
+    Mirrors what ``kernel_variant="batch"`` does inside the sweep runner —
+    every cell of the ring/conv x 2/4/8 matrix gets ``--batch-lanes``
+    same-key experiment points executed as one stacked kernel call — and
+    races that against the specialized kernel looped over the identical
+    traces.  Rounds are interleaved (spec loop, then batch call, repeated)
+    and each variant keeps its best (minimum) time per cell: at ~40s total
+    the dominant noise source is ambient machine load, which only ever adds
+    time, so min is the stable estimator where a median would need many
+    more rounds to settle.
+
+    The trace set is generated once and shared by all six cells.  The
+    lane count and trace length are NOT shrunk under ``--smoke``: the batch
+    kernel's advantage comes from amortizing per-instruction Python
+    dispatch across lanes, so small smoke shapes (e.g. 256 lanes x 1000
+    instructions) measure a genuinely different regime that sits well under
+    the 3x bar.  Instead the smoke budget is held by capping this section
+    at best-of-2 rounds.
+
+    Returns ``(cells, aggregate_speedup, repeats_used)``; per-lane result
+    equality against the specialized kernel is asserted on every cell.
+    """
+    lanes, n = args.batch_lanes, args.batch_n
+    repeats = max(1, min(args.repeats, 2))
+    print(f"generating {lanes} batch-lane traces (n={n}, shared across cells)")
+    traces = [generate_trace(args.mix, n, seed=args.seed + k)
+              for k in range(lanes)]
+
+    cells: Dict[str, Dict[str, Dict[str, float]]] = {}
+    total_spec = total_batch = 0.0
+    for topology in TOPOLOGIES:
+        for n_clusters in CLUSTER_COUNTS:
+            cfg = ProcessorConfig(
+                topology=topology, n_clusters=n_clusters,
+                steering="dependence",
+            )
+            specialized = get_kernel(cfg)
+            best_spec = best_batch = float("inf")
+            spec_results = batch_results = None
+            for _ in range(repeats):
+                t0 = time.perf_counter()
+                spec_results = [specialized(trace) for trace in traces]
+                spec_s = time.perf_counter() - t0
+                t0 = time.perf_counter()
+                batch_results = simulate_batch(traces, cfg)
+                batch_s = time.perf_counter() - t0
+                best_spec = min(best_spec, spec_s)
+                best_batch = min(best_batch, batch_s)
+            for lane, (spec_r, batch_r) in enumerate(
+                    zip(spec_results, batch_results)):
+                if spec_r != batch_r:
+                    raise AssertionError(
+                        f"batch-kernel divergence ({topology.value} "
+                        f"x{n_clusters}) on lane {lane}: specialized and "
+                        f"batch KernelResult totals differ"
+                    )
+            total_spec += best_spec
+            total_batch += best_batch
+            speedup = best_spec / best_batch
+            total_instr = lanes * n
+            cells.setdefault(topology.value, {})[str(n_clusters)] = {
+                "lanes": lanes,
+                "instructions_per_lane": n,
+                "specialized_seconds": round(best_spec, 4),
+                "specialized_instr_per_sec": round(total_instr / best_spec),
+                "batch_seconds": round(best_batch, 4),
+                "batch_instr_per_sec": round(total_instr / best_batch),
+                "batch_speedup": round(speedup, 2),
+            }
+            print(
+                f"  batch {topology.value:4s} x{n_clusters}: "
+                f"specialized {total_instr / best_spec / 1e6:5.2f} Minstr/s  "
+                f"batch {total_instr / best_batch / 1e6:5.2f} Minstr/s  "
+                f"-> {speedup:.2f}x"
+            )
+    aggregate = total_spec / total_batch
+    print(f"  batch aggregate over matrix: {aggregate:.2f}x "
+          f"(sum specialized {total_spec:.1f}s / sum batch {total_batch:.1f}s)")
+    return cells, aggregate, repeats
+
+
 def bench_naive_comparison(trace, repeats: int, n_clusters: int = 4):
     """Race naive vs generic vs specialized on the same trace/config."""
     n = len(trace)
@@ -277,6 +368,15 @@ def main(argv=None) -> int:
     parser.add_argument("--min-specialized-speedup", type=float, default=1.3,
                         help="required specialized-over-generic speedup on "
                              "every matrix cell")
+    parser.add_argument("--batch-lanes", type=int, default=1536,
+                        help="lanes per simulate_batch call in the batched "
+                             "sweep race (not shrunk by --smoke)")
+    parser.add_argument("--batch-n", type=int, default=2000,
+                        help="instructions per lane in the batched sweep "
+                             "race (not shrunk by --smoke)")
+    parser.add_argument("--min-batch-speedup", type=float, default=3.0,
+                        help="required batch-over-specialized aggregate "
+                             "instr/s ratio across the matrix")
     parser.add_argument("--smoke", action="store_true",
                         help="CI-sized run (small traces)")
     parser.add_argument("--out", default=None,
@@ -306,6 +406,8 @@ def main(argv=None) -> int:
     matrix, sweep_meta, worst_spec = bench_matrix(trace, args, store_path)
     print(f"  sweep store: {sweep_meta['cache_hits']}/{sweep_meta['n_points']} "
           f"cache hits ({store_path})")
+    print("batched sweep race (best-of interleaved rounds):")
+    batch_cells, batch_aggregate, batch_repeats = bench_batch_sweep(args)
     print(f"naive object-per-instruction reference race (median of {args.repeats}):")
     comparison = bench_naive_comparison(naive_trace, args.repeats)
 
@@ -325,12 +427,21 @@ def main(argv=None) -> int:
         },
         "matrix": matrix,
         "sweep": sweep_meta,
+        "batch_sweep": {
+            "lanes": args.batch_lanes,
+            "instructions_per_lane": args.batch_n,
+            "repeats": batch_repeats,
+            "cells": batch_cells,
+            "aggregate_speedup": round(batch_aggregate, 2),
+        },
         "naive_comparison": comparison,
         "min_speedup_required": args.min_speedup,
         "worst_speedup": worst_speedup,
         "min_specialized_speedup_required": args.min_specialized_speedup,
         "worst_specialized_speedup": round(worst_spec, 2),
         "worst_specialized_vs_naive_speedup": worst_spec_vs_naive,
+        "min_batch_speedup_required": args.min_batch_speedup,
+        "batch_aggregate_speedup": round(batch_aggregate, 2),
     }
     with open(out_path, "w") as fh:
         json.dump(report, fh, indent=2, sort_keys=True)
@@ -353,12 +464,22 @@ def main(argv=None) -> int:
             file=sys.stderr,
         )
         failed = True
+    if batch_aggregate < args.min_batch_speedup:
+        print(
+            f"FAIL: batch kernel aggregate is only {batch_aggregate:.2f}x the "
+            f"specialized kernel across the sweep matrix "
+            f"(required: {args.min_batch_speedup:.1f}x)",
+            file=sys.stderr,
+        )
+        failed = True
     if failed:
         return 1
     print(f"OK: generic >= {args.min_speedup:.1f}x naive "
           f"(worst {worst_speedup:.2f}x); specialized >= "
           f"{args.min_specialized_speedup:.1f}x generic "
-          f"(worst {worst_spec:.2f}x, {worst_spec_vs_naive:.2f}x naive)")
+          f"(worst {worst_spec:.2f}x, {worst_spec_vs_naive:.2f}x naive); "
+          f"batch aggregate >= {args.min_batch_speedup:.1f}x specialized "
+          f"({batch_aggregate:.2f}x)")
     return 0
 
 

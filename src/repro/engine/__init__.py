@@ -5,11 +5,13 @@ window state (:mod:`repro.engine.trace`, :mod:`repro.engine.window`), the
 table-driven issue/execute/writeback kernel (:mod:`repro.engine.kernel`)
 covering both the paper's ring topology and the conventional clustered
 baseline, the per-configuration specializing compiler
-(:mod:`repro.engine.codegen`), and the public
+(:mod:`repro.engine.codegen`), the lane-vectorized numpy batch kernel
+(:mod:`repro.engine.batch`), and the public
 :class:`~repro.engine.pipeline.Pipeline` facade with its ``kernel_variant``
 selector.
 """
 
+from repro.engine.batch import simulate_batch
 from repro.engine.codegen import (
     clear_registry,
     compile_kernel,
@@ -62,6 +64,7 @@ __all__ = [
     "registry_size",
     "resolve_kernel_variant",
     "simulate",
+    "simulate_batch",
     "simulate_specialized",
     "specialization_key",
 ]

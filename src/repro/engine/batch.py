@@ -1,0 +1,713 @@
+"""Lane-vectorized batch kernel: B traces through one machine, in lock-step.
+
+The sweep grid's natural unit is thousands of :class:`ExperimentPoint`s, and
+the per-instruction Python interpreter overhead of the generic/specialized
+kernels is paid once per point.  This module amortizes it across a *batch*:
+``simulate_batch`` runs B traces that share one structural specialization
+key (:func:`repro.engine.codegen.specialization_key`) through a single
+instruction-indexed loop whose every stage is a numpy operation over the B
+lanes.  Sequential dependences (operand availability, the reorder window,
+bus grants) prevent vectorizing *across instructions*; sharing the timing
+tables lets us vectorize *across points* instead.
+
+Layout: every per-instruction column of the scalar kernel becomes a flat
+array of ``N * B`` entries (``N = max(len(trace))`` over the batch, row
+``i`` at offset ``i * B``), so producer lookups are single flat ``take``
+gathers at precomputed indices; state scalars (fetch cycle, redirect, the
+retire high-water mark) become ``(B,)`` arrays; the per-cluster FU
+scoreboard is flat over ``(cluster, fu_type, unit, lane)`` with absent
+units pinned at a huge sentinel so the first-minimum unit scan matches the
+scalar loop.  Shorter lanes are padded with flagless ``NOP`` rows — a NOP
+issues at its ready cycle, occupies no slot, unit, or bus, and only
+advances the padded lane's private clock.  The issue and writeback stages
+run mask-style rather than compressing lane subsets: lanes excluded by the
+mask read their scoreboard slots and write the *unchanged* values back, so
+no per-step index compression is needed; each lane's cycle count is
+snapshotted the step its real instructions end.
+
+The slot scoreboards (issue slots, ring injection, conventional-bus grants)
+are per-lane dense count arrays keyed ``cycle * n_clusters + cluster``
+relative to a per-lane base.  Issue and ring probes only ever look at or
+above the lane's current fetch frontier, so those two tables are
+periodically rebased to keep their width bounded; the conventional bus
+grants lazily at past cycles and stays anchored at key 0.
+
+Equivalence contract: for every lane, the returned :class:`KernelResult`
+(cycles, all counters, the full integer energy breakdown) is **identical**
+to :func:`repro.engine.kernel.simulate` on that lane alone — enforced by
+the differential fuzz suite across all four kernel variants.  Per-lane
+configs may differ in digest-relevant but timing-irrelevant fields; only
+the specialization key must be shared.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Union
+
+import numpy as np
+
+from repro.common.config import ProcessorConfig
+from repro.common.errors import ConfigurationError, SteeringError
+from repro.common.types import Topology
+from repro.energy import fold_breakdown
+from repro.engine.codegen import specialization_key
+from repro.engine.kernel import (
+    _BRANCH,
+    _FP_LOAD,
+    _LOAD,
+    _N_CLASSES,
+    _N_FU,
+    _NOP,
+    KernelResult,
+    build_tables,
+    check_fu_coverage,
+)
+from repro.engine.trace import (
+    FLAG_L1_MISS,
+    FLAG_L2_MISS,
+    FLAG_MISPREDICT,
+    Trace,
+)
+from repro.steering import BatchSteeringContext, BUILTIN_POLICIES, get_policy
+
+#: Next-free sentinel for functional units a cluster does not have: large
+#: enough that the first-minimum unit scan never picks one, small enough
+#: that ``sentinel + occupancy`` cannot overflow int64.
+_FU_SENTINEL = np.int64(1) << 60
+
+#: Steps between rebases of the frontier-anchored slot tables.  Rebasing
+#: is one vectorized table shift, so a tight interval is cheap and keeps
+#: the live key band (and with it the table's cache footprint) small.
+_REBASE_EVERY = 256
+
+
+class _SlotTable:
+    """Per-lane slot-occupancy counters keyed ``cycle * stride + cluster``.
+
+    ``counts[key - base, lane]`` holds the occupancy of that slot.  The
+    layout is key-major/lane-minor on purpose: lanes run at similar cycles,
+    so a step's probes land in a narrow band of *adjacent* rows (lane-major
+    rows would put each lane's slot a power-of-two stride apart — a
+    cache-set massacre at fleet widths).  It also makes ``take``'s own
+    bounds check exact: a flat address ``local * n_lanes + lane`` is out of
+    range iff ``local >= width``, for every lane, so the hot path carries
+    no explicit bound and growth rides the (rare) IndexError.
+
+    ``base`` is a scalar shared by all lanes.  All probes must be at keys
+    ``>= base`` (callers only probe at or above the slowest lane's fetch
+    frontier, which is where :meth:`rebase` moves the base); the CONV
+    grant table is simply never rebased.
+    """
+
+    __slots__ = ("counts", "flat", "lanes", "off", "base", "stride",
+                 "width", "n_lanes", "nl_s", "jump")
+
+    def __init__(
+        self, n_lanes: int, stride: int, cap: int, width: int = 512
+    ) -> None:
+        # Slot caps are tiny (issue width, bus bandwidth), so the counts fit
+        # int8 — the live key band is gathered every step, and a narrow
+        # dtype keeps it cache-resident.  An implausibly large cap falls
+        # back to int16 (the count only ever reaches cap + 1).
+        dtype = np.int8 if cap <= 100 else np.int16
+        self.counts = np.zeros((width, n_lanes), dtype=dtype)
+        self.flat = self.counts.reshape(-1)
+        self.lanes = np.arange(n_lanes, dtype=np.int64)
+        self.base = 0
+        self.stride = stride
+        self.width = width
+        self.n_lanes = n_lanes
+        self.nl_s = np.int64(n_lanes)
+        #: Flat-address advance for one stride (= one cycle) of retry.
+        self.jump = np.int64(stride * n_lanes)
+        self.off = self.lanes - self.base * self.nl_s
+
+    def _grow(self, need: int) -> None:
+        width = self.width
+        new_width = max(need, 2 * width)
+        grown = np.zeros((new_width, self.n_lanes), dtype=self.counts.dtype)
+        grown[:width] = self.counts
+        self.counts = grown
+        self.flat = grown.reshape(-1)
+        self.width = new_width
+
+    def _refit(self, keys, extra):
+        """Slow path: grow so every ``keys + extra`` probe fits, and
+        return the refreshed flat addresses."""
+        local = keys - self.base + extra
+        need = int(local.max()) + 1
+        if need > self.width:
+            self._grow(need)
+        return local * self.nl_s + self.lanes
+
+    def acquire_masked(self, keys, cap: int, mask):
+        """First-fit slot scan over all lanes; only ``mask`` lanes advance
+        or consume a slot.  Returns per-lane cycles advanced (0 outside
+        the mask; a plain ``0`` when no lane advanced).  Excluded lanes
+        read a slot and write the unchanged count back, so they perturb
+        nothing.
+        """
+        flat = self.flat
+        fidx = keys * self.nl_s + self.off
+        delta = 0
+        jump = self.jump
+        while True:
+            try:
+                cnt = flat.take(fidx)
+            except IndexError:
+                fidx = self._refit(keys, delta * self.stride)
+                flat = self.flat
+                continue
+            unsat = (cnt >= cap) & mask
+            if not np.count_nonzero(unsat):
+                break
+            fidx = fidx + unsat * jump
+            delta = delta + unsat
+        flat[fidx] = cnt + mask
+        return delta
+
+    def acquire_subset(self, lane_idx, keys, cap: int):
+        """First-fit slot scan for the listed lanes only (all consume)."""
+        flat = self.flat
+        fidx = keys * self.nl_s + self.off[lane_idx]
+        delta = 0
+        jump = self.jump
+        while True:
+            try:
+                cnt = flat.take(fidx)
+            except IndexError:
+                local = keys - self.base + delta * self.stride
+                need = int(local.max()) + 1
+                if need > self.width:
+                    self._grow(need)
+                fidx = local * self.nl_s + self.lanes[lane_idx]
+                flat = self.flat
+                continue
+            unsat = cnt >= cap
+            if not np.count_nonzero(unsat):
+                break
+            fidx = fidx + unsat * jump
+            delta = delta + unsat
+        flat[fidx] = cnt + 1
+        return delta
+
+    def rebase(self, new_base: int) -> None:
+        cut = new_base - self.base
+        if cut <= 0:
+            return
+        width = self.width
+        counts = self.counts
+        if cut >= width:
+            counts[:] = 0
+        else:
+            counts[: width - cut] = counts[cut:].copy()
+            counts[width - cut:] = 0
+        self.base = new_base
+        self.off = self.lanes - new_base * self.nl_s
+
+
+def _empty_result(cfg: ProcessorConfig, class_counts: List[int]) -> KernelResult:
+    energy = None
+    if cfg.energy.enabled:
+        energy = fold_breakdown(
+            cfg.energy,
+            n=0,
+            class_counts=class_counts,
+            operand_reads=0,
+            weighted_hops=0,
+            l1_misses=0,
+            l2_misses=0,
+            wakeup_units=0,
+        )
+    return KernelResult(
+        n_instructions=0,
+        cycles=0,
+        mispredicts=0,
+        l1_misses=0,
+        l2_misses=0,
+        communications=0,
+        hop_histogram={},
+        issued_per_cluster=[0] * cfg.n_clusters,
+        class_counts=class_counts,
+        energy=energy,
+    )
+
+
+def simulate_batch(
+    traces: Sequence[Trace],
+    cfg: Union[ProcessorConfig, Sequence[ProcessorConfig]],
+) -> List[KernelResult]:
+    """Simulate ``traces`` as lock-step lanes of one vectorized machine.
+
+    ``cfg`` is either one config shared by every lane or a per-lane
+    sequence; all configs must share one structural specialization key
+    (same timing-folded values), which is what makes lock-step valid.
+    Returns one :class:`KernelResult` per lane, in order, each identical
+    to what :func:`repro.engine.kernel.simulate` returns for that lane.
+    """
+    if isinstance(cfg, ProcessorConfig):
+        cfgs: List[ProcessorConfig] = [cfg] * len(traces)
+    else:
+        cfgs = list(cfg)
+        if len(cfgs) != len(traces):
+            raise ConfigurationError(
+                f"simulate_batch got {len(traces)} traces but "
+                f"{len(cfgs)} configs"
+            )
+    n_lanes = len(traces)
+    if n_lanes == 0:
+        return []
+    # Dedupe by object identity first: the common case is one shared
+    # config object, and hashing it per lane would dominate short runs.
+    spec_keys = {
+        specialization_key(c) for c in {id(c): c for c in cfgs}.values()
+    }
+    if len(spec_keys) > 1:
+        raise ConfigurationError(
+            f"simulate_batch requires every lane to share one structural "
+            f"specialization key; got {len(spec_keys)} distinct keys "
+            f"({', '.join(sorted(spec_keys))})"
+        )
+    cfg0 = cfgs[0]
+
+    latency, occupancy, fu_for, has_dst = build_tables(cfg0)
+    fu_counts = cfg0.cluster.fu_counts
+
+    lens = np.array([len(t) for t in traces], dtype=np.int64)
+    n_steps = int(lens.max())
+    if n_steps == 0:
+        zeros = [0] * _N_CLASSES
+        return [_empty_result(cfgs[b], list(zeros)) for b in range(n_lanes)]
+
+    nc = cfg0.n_clusters
+    is_ring = cfg0.topology is Topology.RING
+    fetch_width = cfg0.fetch_width
+    window_size = cfg0.window_size
+    frontend_depth = cfg0.frontend_depth
+    issue_width = cfg0.cluster.issue_width
+    hop_lat = cfg0.bus.hop_latency
+    bus_bw = cfg0.bus.bandwidth
+    wb_lat = cfg0.bus.writeback_latency
+    mispredict_pen = cfg0.branch.mispredict_penalty
+    l1_miss_pen = cfg0.memory.l1d.miss_penalty
+    l2_miss_pen = cfg0.memory.l2_miss_penalty
+    track_energy = cfg0.energy.enabled
+
+    policy = get_policy(cfg0.steering)
+    validate_steer = cfg0.steering not in BUILTIN_POLICIES
+    track_retire = track_energy or policy.needs_retire
+
+    # ---- lane-stacked trace columns (shorter lanes padded with NOPs) ----
+    # Built lane-major (contiguous per-lane writes), then transposed once
+    # into the step-major layout the loop reads.
+    B = n_lanes
+    if n_steps * B >= np.iinfo(np.int32).max:
+        raise ConfigurationError(
+            f"simulate_batch: {n_steps} steps x {B} lanes exceeds the flat "
+            f"int32 address space; split the batch"
+        )
+    # Narrow dtypes keep the transpose and the prepass bandwidth-bound
+    # phases small; source indices fit int32 (bounded by n_steps), flags
+    # fit int8.
+    op_bn = np.full((B, n_steps), _NOP, dtype=np.int16)
+    s1_bn = np.full((B, n_steps), -1, dtype=np.int32)
+    s2_bn = np.full((B, n_steps), -1, dtype=np.int32)
+    fl_bn = np.zeros((B, n_steps), dtype=np.int8)
+    for b, t in enumerate(traces):
+        n = len(t)
+        if n:
+            op_bn[b, :n] = np.frombuffer(t.opclass, dtype=np.int8)
+            s1_bn[b, :n] = np.frombuffer(t.src1, dtype=np.int64)
+            s2_bn[b, :n] = np.frombuffer(t.src2, dtype=np.int64)
+            fl_bn[b, :n] = np.frombuffer(t.flags, dtype=np.int8)
+    op = np.ascontiguousarray(op_bn.T)
+    s1c = np.ascontiguousarray(s1_bn.T)
+    s2c = np.ascontiguousarray(s2_bn.T)
+    flc = np.ascontiguousarray(fl_bn.T)
+    del op_bn, s1_bn, s2_bn, fl_bn
+
+    # Per-lane class tallies in one bincount: offset each lane's opclass
+    # values into its own bin range, then peel the NOP padding back off.
+    lanes = np.arange(B, dtype=np.int64)
+    counts_all = np.bincount(
+        (op + (lanes * _N_CLASSES)[None, :]).ravel(),
+        minlength=B * _N_CLASSES,
+    ).reshape(B, _N_CLASSES)
+    counts_all[:, _NOP] -= n_steps - lens
+    class_counts_by_lane = [
+        [int(x) for x in counts_all[b]] for b in range(B)
+    ]
+    for b, t in enumerate(traces):
+        check_fu_coverage(t.name, class_counts_by_lane[b], fu_counts, fu_for)
+
+    # Narrow table dtypes flow into the derived (n_steps, B) columns,
+    # keeping the bandwidth-bound prepass small; loop arithmetic upcasts.
+    LAT = np.array(latency, dtype=np.int32)
+    OCC = np.array(occupancy, dtype=np.int16)
+    FU = np.array(fu_for, dtype=np.int64)
+    DST = np.array(has_dst, dtype=bool)
+
+    # ---- prepass: everything derivable from the trace alone -------------
+    l1f = (flc & FLAG_L1_MISS) != 0
+    l2f = l1f & ((flc & FLAG_L2_MISS) != 0)  # L2 counts only under an L1 miss
+    load_stall = l1f & ((op == _LOAD) | (op == _FP_LOAD))
+    lat_col = LAT[op]
+    if l1_miss_pen:
+        lat_col = lat_col + load_stall * np.int32(l1_miss_pen)
+    if l2_miss_pen:
+        lat_col = lat_col + (load_stall & l2f) * np.int32(l2_miss_pen)
+    mispredicts = ((flc & FLAG_MISPREDICT) != 0).sum(axis=0)
+    l1_misses = l1f.sum(axis=0)
+    l2_misses = l2f.sum(axis=0)
+    redirect_col = (
+        (~DST[op]) & (op == _BRANCH) & ((flc & FLAG_MISPREDICT) != 0)
+    )
+    redirect_any = redirect_col.any(axis=1)
+
+    nonnop_col = op != _NOP
+    dst_col = DST[op]
+    occ_col = OCC[op]
+    # Source-present masks and flat producer addresses (row * B + lane for
+    # the clipped source index), stacked (n_steps, 2, B) so the operand
+    # stage reads both sources as one contiguous (2, B) row per step; the
+    # per-source (n_steps, B) views are what the steering context and the
+    # fold-up see.
+    p12_col = np.empty((n_steps, 2, B), dtype=bool)
+    np.greater_equal(s1c, 0, out=p12_col[:, 0, :])
+    np.greater_equal(s2c, 0, out=p12_col[:, 1, :])
+    j12f_col = np.empty((n_steps, 2, B), dtype=np.int64)
+    j12f_col[:, 0, :] = np.maximum(s1c, 0) * B + lanes
+    j12f_col[:, 1, :] = np.maximum(s2c, 0) * B + lanes
+    present1_col = p12_col[:, 0, :]
+    present2_col = p12_col[:, 1, :]
+    j1f_col = j12f_col[:, 0, :]
+    j2f_col = j12f_col[:, 1, :]
+
+    # ---- machine state, one entry per lane ------------------------------
+    fetch_cycle = np.zeros(B, dtype=np.int64)
+    fetched = np.zeros(B, dtype=np.int64)
+    redirect = np.zeros(B, dtype=np.int64)
+    last_retire = np.zeros(B, dtype=np.int64)
+    final_retire = np.zeros(B, dtype=np.int64)
+    rob = np.zeros((window_size, B), dtype=np.int64)
+
+    # Cycle-valued history columns are gathered at random producer rows
+    # every step, so their dtype sets the cache band the gathers walk:
+    # int32 unless a (very conservative) whole-run cycle bound overflows
+    # it.  Every instruction advances any clock by at most one latency
+    # plus every fixed penalty, so n_steps times that bounds all cycles;
+    # in-loop arithmetic stays int64 (the (B,) state side), only the
+    # stored history narrows.
+    per_step_bound = (
+        int(LAT.max()) + l1_miss_pen + l2_miss_pen
+        + frontend_depth
+        + mispredict_pen
+        + 2 * wb_lat
+        + (nc + 1) * max(hop_lat, 1)
+        + issue_width
+        + 4
+    )
+    cdtype = (
+        np.int32
+        if (n_steps + 2) * per_step_bound * 4 < np.iinfo(np.int32).max
+        else np.int64
+    )
+    # Cluster ids also live in the gathered band; int8 covers any sane
+    # cluster count (the post-loop hop arithmetic stays in range because
+    # |cluster - pc| - 1 >= -nc >= -128).
+    cluster_col = np.zeros(
+        (n_steps, B), dtype=np.int8 if nc <= 127 else np.int16
+    )
+    complete_col = np.zeros((n_steps, B), dtype=cdtype)
+    grant_col = np.full((n_steps, B), -1, dtype=cdtype)
+    retire_col = (
+        np.zeros((n_steps, B), dtype=cdtype)
+        if track_retire
+        else np.zeros((0, B), dtype=cdtype)
+    )
+    fc_col = (
+        np.zeros((n_steps, B), dtype=cdtype) if track_energy else None
+    )
+    cluster_flat = cluster_col.reshape(-1)
+    complete_flat = complete_col.reshape(-1)
+    grant_flat = grant_col.reshape(-1)
+
+    # FU scoreboard, flat over (cluster, fu_type, unit, lane).  The
+    # per-step address is ``cluster * (4 * U * B) + fu_type * (U * B) +
+    # unit * B + lane``; the fu_type/lane part is a prepass column.
+    n_units = max(1, max(fu_counts))
+    fu_free = np.zeros((nc * _N_FU, n_units, B), dtype=np.int64)
+    for fu_type in range(_N_FU):
+        if fu_counts[fu_type] < n_units:
+            for c in range(nc):
+                fu_free[c * _N_FU + fu_type, fu_counts[fu_type]:, :] = (
+                    _FU_SENTINEL
+                )
+    fu_flat = fu_free.reshape(-1)
+    fu_addr_col = FU[op] * (n_units * B) + lanes
+    fu_cluster_scale = _N_FU * n_units * B
+
+    issue_slots = _SlotTable(B, nc, issue_width)
+    bus_slots = _SlotTable(B, nc, bus_bw)
+
+    steer = policy.make_batch(
+        BatchSteeringContext(
+            n_clusters=nc,
+            is_ring=is_ring,
+            window_size=window_size,
+            fetch_width=fetch_width,
+            n_lanes=B,
+            lane_index=lanes,
+            cluster_col=cluster_col,
+            complete_col=complete_col,
+            retire_col=retire_col,
+            j1f_col=j1f_col,
+            j2f_col=j2f_col,
+            present1_col=present1_col,
+            present2_col=present2_col,
+        )
+    )
+
+    end_steps = {int(x) for x in lens}
+    # Power-of-two cluster counts take the bitmask path: & equals % for
+    # two's-complement negatives, and % is one of the costliest ufuncs in
+    # the loop.
+    nc_mask = nc - 1 if nc & (nc - 1) == 0 else 0
+    # Pre-boxed numpy scalars: `array * python_int` re-boxes the scalar on
+    # every call, which is measurable at this call rate.
+    nc_s = np.int64(nc)
+    fu_scale_s = np.int64(fu_cluster_scale)
+    wb_lat_s = np.int64(wb_lat)
+    mispredict_pen_s = np.int64(mispredict_pen)
+    hop_lat_s = np.int64(hop_lat)
+
+    for i in range(n_steps):
+        nonnop = nonnop_col[i]
+
+        # ---- fetch -------------------------------------------------------
+        # The scalar loop applies wrap, redirect and window stalls in
+        # sequence, zeroing the intra-cycle count whenever the cycle moves;
+        # the net effect is a running max, with the count reset iff it
+        # moved at all.
+        new_fc = np.maximum(fetch_cycle + (fetched >= fetch_width), redirect)
+        if i >= window_size:
+            new_fc = np.maximum(new_fc, rob[i % window_size])
+        fetched = fetched * (new_fc == fetch_cycle) + 1
+        fetch_cycle = new_fc
+        ready = fetch_cycle + frontend_depth
+        if fc_col is not None:
+            fc_col[i] = fetch_cycle
+
+        # ---- steering ----------------------------------------------------
+        cluster = steer(i, s1c[i], s2c[i], fetch_cycle)
+        if validate_steer:
+            cluster = np.asarray(cluster)
+            bad = (cluster < 0) | (cluster >= nc)
+            if bad.any():
+                lane = int(np.nonzero(bad)[0][0])
+                raise SteeringError(
+                    f"steering policy {cfg0.steering!r} returned cluster "
+                    f"{int(cluster[lane])!r} for instruction {i} "
+                    f"(valid: 0..{nc - 1})"
+                )
+        cluster_col[i] = cluster
+
+        # ---- operand availability (both sources as one (2, B) row) ------
+        # ``avail * present`` masks an absent source to 0, which can never
+        # raise ``ready`` (>= 0); a present source's avail enters the max
+        # untouched, negative or not — exactly the scalar ``if avail >
+        # ready`` guard.
+        j12 = j12f_col[i]
+        p12 = p12_col[i]
+        pc = cluster_flat.take(j12)
+        if is_ring:
+            if nc_mask:
+                hops = ((cluster - pc - 1) & nc_mask) + 1
+            else:
+                hops = (cluster - pc - 1) % nc + 1
+            if hop_lat != 1:
+                hops = hops * hop_lat_s
+            avail = (grant_flat.take(j12) + hops) * p12
+            ready = np.maximum(ready, avail[0])
+            ready = np.maximum(ready, avail[1])
+        else:
+            remote = (pc != cluster) & p12
+            grants = grant_flat.take(j12)
+            if np.count_nonzero(remote & (grants < 0)):
+                # Lazy first-consumer grants are sparse: compress, and keep
+                # the two sources in scalar order (src1's grant can both
+                # satisfy src2 and contend for its bus slot).
+                for s in (0, 1):
+                    jf = j12[s]
+                    gs = grant_flat.take(jf) if s else grants[s]
+                    need_grant = remote[s] & (gs < 0)
+                    if np.count_nonzero(need_grant):
+                        li = np.nonzero(need_grant)[0]
+                        jf_li = jf[li]
+                        g = complete_flat.take(jf_li) + wb_lat
+                        g = g + bus_slots.acquire_subset(
+                            li, g * nc_s + pc[s][li], bus_bw
+                        )
+                        grant_flat[jf_li] = g + wb_lat
+                grants = grant_flat.take(j12)
+            d = np.abs(cluster - pc)
+            d = np.minimum(d, nc - d)
+            if hop_lat != 1:
+                d = d * hop_lat_s
+            # A remote grant is never earlier than its producer's complete
+            # (grant = complete + non-negative delays), so feeding both the
+            # local and the granted availability through the running max
+            # replaces the per-source where().
+            loc = complete_flat.take(j12) * p12
+            rem = (grants + d) * remote
+            ready = np.maximum(ready, loc[0])
+            ready = np.maximum(ready, loc[1])
+            ready = np.maximum(ready, rem[0])
+            ready = np.maximum(ready, rem[1])
+
+        # ---- issue (NOPs occupy no slot or unit) ------------------------
+        # Masked, not compressed: NOP lanes address their real (cluster,
+        # fu_type) units and slots but are excluded from every comparison
+        # and write back unchanged values, so they consume nothing.
+        fu_base = cluster * fu_scale_s + fu_addr_col[i]
+        unit_free = fu_flat.take(fu_base)
+        sel = fu_base
+        for u in range(1, n_units):
+            cand = fu_flat.take(fu_base + u * B)
+            better = cand < unit_free  # strict: first-minimum tie-break
+            unit_free = np.where(better, cand, unit_free)
+            sel = np.where(better, fu_base + u * B, sel)
+        issue = np.maximum(unit_free * nonnop, ready)
+        issue = issue + issue_slots.acquire_masked(
+            issue * nc_s + cluster, issue_width, nonnop
+        )
+        fu_flat[sel] = np.where(nonnop, issue + occ_col[i], unit_free)
+
+        # ---- execute -----------------------------------------------------
+        complete = issue + lat_col[i]
+        complete_col[i] = complete
+
+        # ---- writeback / interconnect -----------------------------------
+        if is_ring:
+            need = dst_col[i]
+            g = complete + bus_slots.acquire_masked(
+                complete * nc_s + cluster, bus_bw, need
+            )
+            grant_col[i] = np.where(need, g + wb_lat_s, -1)
+        # CONV grants lazily, on first remote consumer (see operands).
+        if redirect_any[i]:
+            r = complete + mispredict_pen_s
+            redirect = np.maximum(redirect, r * redirect_col[i])
+
+        # ---- in-order retire --------------------------------------------
+        last_retire = np.maximum(last_retire, complete)
+        rob[i % window_size] = last_retire
+        if track_retire:
+            retire_col[i] = last_retire
+        if (i + 1) in end_steps:
+            ending = lens == (i + 1)
+            final_retire[ending] = last_retire[ending]
+
+        if (i + 1) % _REBASE_EVERY == 0:
+            # Every lane's probes sit at or above its own fetch frontier,
+            # so the slowest lane's frontier is a safe shared base.
+            frontier = int(fetch_cycle.min()) * nc
+            issue_slots.rebase(frontier)
+            if is_ring:
+                bus_slots.rebase(frontier)
+
+    # ---- hop tallies, recomputed vectorized from the final columns ------
+    pc1 = cluster_flat.take(j1f_col).reshape(n_steps, B)
+    pc2 = cluster_flat.take(j2f_col).reshape(n_steps, B)
+    if is_ring:
+        if nc_mask:
+            h1_col = (((cluster_col - pc1 - 1) & nc_mask) + 1) * present1_col
+            h2_col = (((cluster_col - pc2 - 1) & nc_mask) + 1) * present2_col
+        else:
+            h1_col = ((cluster_col - pc1 - 1) % nc + 1) * present1_col
+            h2_col = ((cluster_col - pc2 - 1) % nc + 1) * present2_col
+    else:
+        d1 = np.abs(cluster_col - pc1)
+        d2 = np.abs(cluster_col - pc2)
+        h1_col = np.minimum(d1, nc - d1) * (present1_col & (pc1 != cluster_col))
+        h2_col = np.minimum(d2, nc - d2) * (present2_col & (pc2 != cluster_col))
+
+    # ---- per-lane fold-up -----------------------------------------------
+    # All per-lane tallies come out of whole-batch bincounts/sums: rows at
+    # or past each lane's own length contribute only to discarded bins
+    # (absent sources hop 0, padding is NOP, padded grants stay -1).
+    hop_k = nc + 1
+    lane_hop_off = (lanes * hop_k)[None, :]
+    hop_counts_all = (
+        np.bincount((h1_col + lane_hop_off).ravel(), minlength=B * hop_k)
+        + np.bincount((h2_col + lane_hop_off).ravel(), minlength=B * hop_k)
+    ).reshape(B, hop_k)
+    issued_all = np.bincount(
+        ((cluster_col + (lanes * nc)[None, :] + 1) * nonnop_col).ravel(),
+        minlength=B * nc + 1,
+    )[1:].reshape(B, nc)
+    if is_ring:
+        dst_classes = [k for k in range(_N_CLASSES) if has_dst[k]]
+    else:
+        comm_all = (grant_col >= 0).sum(axis=0)
+    if track_energy:
+        reads_all = present1_col.sum(axis=0) + present2_col.sum(axis=0)
+        wh_all = hop_counts_all @ np.arange(hop_k, dtype=np.int64)
+
+    results: List[KernelResult] = []
+    step_index = np.arange(n_steps, dtype=np.int64)
+    for b in range(B):
+        n = int(lens[b])
+        class_counts = class_counts_by_lane[b]
+        if n == 0:
+            results.append(_empty_result(cfgs[b], class_counts))
+            continue
+        hop_counts = hop_counts_all[b]
+        hop_histogram = {
+            d: int(hop_counts[d]) for d in range(1, nc + 1) if hop_counts[d]
+        }
+        issued = issued_all[b]
+        if is_ring:
+            communications = sum(class_counts[kk] for kk in dst_classes)
+        else:
+            communications = int(comm_all[b])
+        energy = None
+        if track_energy:
+            operand_reads = int(reads_all[b])
+            weighted_hops = int(wh_all[b])
+            # The scalar kernel's monotone retire pointer at step i is
+            # min(i, #{j : retire[j] <= fetch_cycle[i]}); both columns are
+            # nondecreasing, so one searchsorted recovers every pointer.
+            retired_before = np.searchsorted(
+                retire_col[:n, b], fc_col[:n, b], side="right"
+            )
+            ptr = np.minimum(retired_before, step_index[:n])
+            wakeup_units = int((step_index[:n] - ptr + 1).sum())
+            energy = fold_breakdown(
+                cfgs[b].energy,
+                n=n,
+                class_counts=class_counts,
+                operand_reads=operand_reads,
+                weighted_hops=weighted_hops,
+                l1_misses=int(l1_misses[b]),
+                l2_misses=int(l2_misses[b]),
+                wakeup_units=wakeup_units,
+            )
+        results.append(
+            KernelResult(
+                n_instructions=n,
+                cycles=int(final_retire[b]) + 1,
+                mispredicts=int(mispredicts[b]),
+                l1_misses=int(l1_misses[b]),
+                l2_misses=int(l2_misses[b]),
+                communications=communications,
+                hop_histogram=hop_histogram,
+                issued_per_cluster=[int(x) for x in issued],
+                class_counts=class_counts,
+                energy=energy,
+            )
+        )
+    return results
+
+
+__all__ = ["simulate_batch"]

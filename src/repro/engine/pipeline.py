@@ -16,12 +16,16 @@ from repro.common.config import ProcessorConfig
 from repro.common.counters import StatGroup
 from repro.common.errors import ConfigurationError, SimulationError
 from repro.common.types import InstrClass
+from repro.engine.batch import simulate_batch
 from repro.engine.codegen import simulate_specialized
 from repro.engine.kernel import ENGINE_VERSION, KernelResult, simulate
 from repro.engine.trace import Trace
 
-#: Valid values for ``Pipeline(kernel_variant=...)``.
-KERNEL_VARIANTS = ("generic", "specialized")
+#: Valid values for ``Pipeline(kernel_variant=...)``.  ``batch`` runs the
+#: lane-vectorized numpy kernel (:mod:`repro.engine.batch`) with a single
+#: lane; its real payoff is the sweep runner batching many points that
+#: share a specialization key through one call.
+KERNEL_VARIANTS = ("generic", "specialized", "batch")
 
 #: Default kernel variant; ``specialized`` compiles a branch-free kernel per
 #: machine configuration (see :mod:`repro.engine.codegen`).  Both variants
@@ -104,6 +108,8 @@ class Pipeline:
     def _simulate_checked(self, trace: Trace) -> KernelResult:
         if self.kernel_variant == "specialized":
             result = simulate_specialized(trace, self.config)
+        elif self.kernel_variant == "batch":
+            result = simulate_batch([trace], self.config)[0]
         else:
             result = simulate(trace, self.config)
         if result.n_instructions and result.cycles <= 0:

@@ -244,8 +244,12 @@ class FabricCoordinator:
         if shards:
             self._execute(spec, store, shards, summary)
         summary.elapsed_s = time.monotonic() - t0
-        summary.backends = self._backend_stats()
+        # Degradation is snapshotted BEFORE the stats pass: status() reads
+        # the promoting ``state`` property, which can flip a dead peer to
+        # post-cooldown probation while this very summary is being built —
+        # "ended the run dead" must not depend on wall-clock read order.
         summary.degraded = self._is_degraded()
+        summary.backends = self._backend_stats()
         return summary
 
     def _backend_stats(self) -> Dict[str, Dict[str, Any]]:
@@ -337,12 +341,22 @@ class FabricCoordinator:
                     continue
                 dispatch(pending.popleft(), backend)
 
-            # Wait for one completion (or just tick).
+            # Wait for one completion (or just tick), then drain whatever
+            # else has queued up: fast backends can finish several shards
+            # per poll interval, and consuming one completion per tick
+            # would lag the merge frontier and redispatch behind them.
+            arrivals: List[Tuple[int, Optional[List[Dict[str, Any]]],
+                                 Optional[BaseException]]] = []
             try:
-                ticket, records, exc = done_q.get(timeout=self.poll_s)
+                arrivals.append(done_q.get(timeout=self.poll_s))
             except queue.Empty:
                 pass
-            else:
+            while True:
+                try:
+                    arrivals.append(done_q.get_nowait())
+                except queue.Empty:
+                    break
+            for ticket, records, exc in arrivals:
                 lease = tickets[ticket]
                 shard, backend = lease.shard, lease.backend
                 if not lease.expired:
@@ -351,19 +365,24 @@ class FabricCoordinator:
                 if exc is None and records is not None:
                     # A late result from an expired lease is still a
                     # success — accepted iff the shard is still open
-                    # (at-least-once; the merge dedups the rest).
-                    self.health[backend.name].record_success()
+                    # (at-least-once; the merge dedups the rest).  Health
+                    # is only updated for live leases: the expiry already
+                    # charged this backend a failure, and a late success
+                    # must not resurrect a DEAD peer straight to ALIVE,
+                    # bypassing the probation trial health.py documents.
+                    if not lease.expired:
+                        self.health[backend.name].record_success()
                     if shard.index not in completed:
                         completed[shard.index] = records
                         self._completed_by[backend.name] += 1
                         drop_from_pending(shard.index)
                 else:
-                    self.health[backend.name].record_failure()
                     self._say(
                         f"fabric: {shard.label()} failed on "
                         f"{backend.name}: {exc}"
                     )
                     if not lease.expired:
+                        self.health[backend.name].record_failure()
                         requeue(shard, f"{type(exc).__name__}: {exc}")
 
             # Expire leases that stopped heartbeating.

@@ -11,6 +11,10 @@ registry instead of a frozen tuple:
   policy for a per-run steering closure via :meth:`SteeringPolicy.make_generic`;
 * the **naive oracle** (``bench/naive_ref.py``) does the same through
   :meth:`SteeringPolicy.make_naive` over its object-per-instruction state;
+* the **batch kernel** (:func:`repro.engine.batch.simulate_batch`) asks for
+  a lane-vectorized closure via :meth:`SteeringPolicy.make_batch` — same
+  per-instruction call shape, but every argument and the returned cluster
+  are numpy arrays over the batch lanes;
 * the **codegen specializer** (:mod:`repro.engine.codegen`) calls the
   policy's stage emitters (:meth:`SteeringPolicy.emit_setup`,
   :meth:`SteeringPolicy.emit_steering`, :meth:`SteeringPolicy.emit_retire`)
@@ -129,6 +133,41 @@ class NaiveSteeringContext:
     retire_cycles: List[int]
 
 
+@dataclass
+class BatchSteeringContext:
+    """Lane-vectorized twin of :class:`SteeringContext`.
+
+    The batch kernel simulates ``n_lanes`` traces in lock-step over a shared
+    instruction index; all columns are ``(N, n_lanes)`` numpy arrays whose
+    rows for instructions before the one being steered are final.
+    ``lane_index`` is ``arange(n_lanes)`` (for gather convenience);
+    ``retire_col`` is populated only when the policy sets
+    :attr:`SteeringPolicy.needs_retire` (or the energy model is active) and
+    is a zero-row array otherwise.  ``j1f_col``/``j2f_col`` are the
+    kernel's precomputed flat producer addresses ``max(src, 0) * n_lanes +
+    lane`` per step — row ``i`` indexes the flat view of any ``(N,
+    n_lanes)`` column at the step's (clipped) source-1/source-2 producers,
+    so gather-heavy policies need not recompute them.
+    ``present1_col``/``present2_col`` are the matching precomputed
+    source-present bool columns (``src >= 0``), sparing policies the
+    per-step comparisons.
+    """
+
+    n_clusters: int
+    is_ring: bool
+    window_size: int
+    fetch_width: int
+    n_lanes: int
+    lane_index: "object"
+    cluster_col: "object"
+    complete_col: "object"
+    retire_col: "object"
+    j1f_col: "object" = None
+    j2f_col: "object" = None
+    present1_col: "object" = None
+    present2_col: "object" = None
+
+
 class SteeringPolicy:
     """One steering heuristic, pluggable into all three kernels.
 
@@ -166,6 +205,24 @@ class SteeringPolicy:
         self, ctx: NaiveSteeringContext
     ) -> Callable[[object, int], int]:
         raise NotImplementedError
+
+    # -- batch backend -----------------------------------------------------
+    def make_batch(
+        self, ctx: BatchSteeringContext
+    ) -> Callable[[int, object, object, object], object]:
+        """Return a lane-vectorized ``steer(i, s1, s2, fetch_cycle)``.
+
+        ``s1``/``s2``/``fetch_cycle`` are ``(n_lanes,)`` int arrays and the
+        closure must return the chosen cluster per lane as an int array.
+        The default raises: a policy without a vectorized backend runs
+        under ``kernel_variant="generic"`` (per lane), but cannot batch.
+        """
+        raise ConfigurationError(
+            f"steering policy {self.name!r} does not implement a "
+            f"lane-vectorized backend (make_batch), so it cannot run "
+            f"under the batch kernel; use kernel_variant='generic' (or "
+            f"REPRO_KERNEL_VARIANT=generic), or implement make_batch"
+        )
 
     # -- codegen backend --------------------------------------------------
     def emit_setup(self, e, v) -> None:
@@ -261,6 +318,47 @@ class DependencePolicy(SteeringPolicy):
 
         return steer
 
+    def make_batch(self, ctx):
+        import numpy as np
+
+        nc = ctx.n_clusters
+        is_ring = ctx.is_ring
+        nc_mask = nc - 1 if nc & (nc - 1) == 0 else 0
+        # Flat views + take() gathers: measurably cheaper than 2-D
+        # advanced indexing in the per-step hot path.
+        cluster_flat = ctx.cluster_col.reshape(-1)
+        complete_flat = ctx.complete_col.reshape(-1)
+        j1f_col = ctx.j1f_col
+        j2f_col = ctx.j2f_col
+        present1_col = ctx.present1_col
+        present2_col = ctx.present2_col
+        rr = np.zeros(ctx.n_lanes, dtype=np.int64)
+
+        def steer(i, s1, s2, fetch_cycle):
+            j1f = j1f_col[i]
+            j2f = j2f_col[i]
+            p1 = present1_col[i]
+            p2 = present2_col[i]
+            # Lanes where a source is absent gather row 0 garbage, but the
+            # masks below never select those values.  The critical source
+            # is s2 iff s1 is absent or s2 completes strictly later.
+            use2 = p2 & (
+                ~p1 | (complete_flat.take(j2f) > complete_flat.take(j1f))
+            )
+            jcrit = j1f + (j2f - j1f) * use2
+            has_src = p1 | p2
+            base = cluster_flat.take(jcrit)
+            if is_ring:
+                steered = (base + 1) & nc_mask if nc_mask else (base + 1) % nc
+            else:
+                steered = base
+            fill = rr & nc_mask if nc_mask else rr % nc
+            cluster = np.where(has_src, steered, fill)
+            np.add(rr, ~has_src, out=rr, casting="unsafe")
+            return cluster
+
+        return steer
+
     def emit_steering(self, e, v, ind):
         from repro.engine import codegen
 
@@ -311,6 +409,18 @@ class ModuloPolicy(_SplitSteeringPolicy):
 
         return steer
 
+    def make_batch(self, ctx):
+        import numpy as np
+
+        nc = ctx.n_clusters
+        fw = ctx.fetch_width
+        n_lanes = ctx.n_lanes
+
+        def steer(i, s1, s2, fetch_cycle):
+            return np.full(n_lanes, (i // fw) % nc, dtype=np.int64)
+
+        return steer
+
     def _emit_cluster_choice(self, e, v, ind):
         from repro.engine import codegen
 
@@ -335,6 +445,17 @@ class RoundRobinPolicy(_SplitSteeringPolicy):
 
         def steer(instr, fetch_cycle):
             return instr.index % nc
+
+        return steer
+
+    def make_batch(self, ctx):
+        import numpy as np
+
+        nc = ctx.n_clusters
+        n_lanes = ctx.n_lanes
+
+        def steer(i, s1, s2, fetch_cycle):
+            return np.full(n_lanes, i % nc, dtype=np.int64)
 
         return steer
 
@@ -418,6 +539,42 @@ class _OccupancyPolicy(_SplitSteeringPolicy):
                 cluster = c
         return cluster
 
+    @staticmethod
+    def _make_batch_tracker(ctx):
+        """(advance, load, load_flat, lane_off) over the batch lanes.
+
+        ``load`` is ``(n_lanes, n_clusters)`` with ``load_flat`` its flat
+        view and ``lane_off`` the per-lane flat row offsets; ``advance``
+        moves every lane's retire pointer independently.  Each vectorized
+        sweep advances each lane by at most one slot, so total work stays
+        the amortized O(n) of the scalar tracker times the lane count.
+        Lanes the mask rejects write their load counts back unchanged.
+        """
+        import numpy as np
+
+        B = ctx.n_lanes
+        lanes = ctx.lane_index
+        cluster_flat = ctx.cluster_col.reshape(-1)
+        retire_flat = ctx.retire_col.reshape(-1)
+        load = np.zeros((B, ctx.n_clusters), dtype=np.int64)
+        load_flat = load.reshape(-1)
+        lane_off = lanes * ctx.n_clusters
+        sp = np.zeros(B, dtype=np.int64)
+
+        def advance(upto, fetch_cycle):
+            while True:
+                # sp <= upto <= N-1 during steering, so the gathers are
+                # in-bounds even for lanes the mask rejects.
+                spf = sp * B + lanes
+                adv = (sp < upto) & (retire_flat.take(spf) <= fetch_cycle)
+                if not adv.any():
+                    break
+                idx = lane_off + cluster_flat.take(spf)
+                load_flat[idx] = load_flat.take(idx) - adv
+                np.add(sp, adv, out=sp, casting="unsafe")
+
+        return advance, load, load_flat, lane_off
+
 
 class LoadBalancePolicy(_OccupancyPolicy):
     """Steer to the least-occupied cluster, tie-break by lowest index."""
@@ -452,6 +609,22 @@ class LoadBalancePolicy(_OccupancyPolicy):
             advance(instr.index, fetch_cycle)
             cluster = argmin(load, nc)
             load[cluster] += 1
+            return cluster
+
+        return steer
+
+    def make_batch(self, ctx):
+        import numpy as np
+
+        advance, load, load_flat, lane_off = self._make_batch_tracker(ctx)
+
+        def steer(i, s1, s2, fetch_cycle):
+            advance(i, fetch_cycle)
+            # np.argmin returns the first minimum — same lowest-index
+            # tie-break as the scalar _argmin scan.
+            cluster = np.argmin(load, axis=1)
+            idx = lane_off + cluster
+            load_flat[idx] = load_flat.take(idx) + 1
             return cluster
 
         return steer
@@ -547,6 +720,38 @@ class CriticalityPolicy(_OccupancyPolicy):
 
         return steer
 
+    def make_batch(self, ctx):
+        import numpy as np
+
+        nc = ctx.n_clusters
+        is_ring = ctx.is_ring
+        cap = self.window_share(ctx.window_size, nc)
+        cluster_flat = ctx.cluster_col.reshape(-1)
+        complete_flat = ctx.complete_col.reshape(-1)
+        j1f_col = ctx.j1f_col
+        j2f_col = ctx.j2f_col
+        advance, load, load_flat, lane_off = self._make_batch_tracker(ctx)
+
+        def steer(i, s1, s2, fetch_cycle):
+            advance(i, fetch_cycle)
+            j1f = j1f_col[i]
+            j2f = j2f_col[i]
+            use2 = (s2 >= 0) & (
+                (s1 < 0) | (complete_flat.take(j2f) > complete_flat.take(j1f))
+            )
+            jcrit = j1f + (j2f - j1f) * use2
+            has_src = (s1 >= 0) | (s2 >= 0)
+            base = cluster_flat.take(jcrit)
+            preferred = (base + 1) % nc if is_ring else base
+            fallback = np.argmin(load, axis=1)
+            over_cap = load_flat.take(lane_off + preferred) >= cap
+            cluster = np.where(has_src & ~over_cap, preferred, fallback)
+            idx = lane_off + cluster
+            load_flat[idx] = load_flat.take(idx) + 1
+            return cluster
+
+        return steer
+
     def _emit_cluster_choice(self, e, v, ind):
         from repro.engine.codegen import _ring_next
 
@@ -638,6 +843,7 @@ del _policy
 
 __all__ = [
     "BUILTIN_POLICIES",
+    "BatchSteeringContext",
     "CriticalityPolicy",
     "DependencePolicy",
     "LoadBalancePolicy",

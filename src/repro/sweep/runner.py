@@ -46,6 +46,16 @@ that varies only machine config reuses one generated trace for all its
 points) and the per-config compiled-kernel registry in
 :mod:`repro.engine.codegen` (points sharing a structural specialization key
 share one compiled kernel).  Neither affects results — only wall-clock.
+
+Under ``kernel_variant="batch"`` the runner adds a scheduling pre-phase:
+pending points are grouped by structural specialization key and every
+multi-point group is executed through one
+:func:`repro.engine.batch.simulate_batch` call (:func:`execute_batch`),
+demuxed back into per-point records that feed the same flush frontier.
+Batching is pure scheduling: the store bytes are identical to any other
+variant's, and a failed batch charges each member one attempt and falls
+back to per-point execution, so the retry/timeout machinery above is
+unchanged.
 """
 
 from __future__ import annotations
@@ -58,7 +68,10 @@ from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
-from repro.common.errors import ConfigurationError, ReproError
+from repro.common.errors import ConfigurationError, ReproError, SimulationError
+from repro.engine.batch import simulate_batch
+from repro.engine.codegen import specialization_key
+from repro.engine.kernel import ENGINE_VERSION
 from repro.engine.pipeline import Pipeline, resolve_kernel_variant
 from repro.engine.trace import Trace
 from repro.faults import maybe_inject
@@ -78,6 +91,12 @@ MIN_POINTS_PER_WORKER = 2
 
 #: Per-process bound on memoized traces (see :func:`_cached_trace`).
 TRACE_CACHE_SIZE = 8
+
+#: Upper bound on lanes per batched kernel call under the ``batch`` variant.
+#: Caps the failure domain (one bad lane costs at most this many points one
+#: attempt each) and the per-call memory footprint; throughput saturates
+#: well before this many lanes for sweep-sized traces.
+MAX_BATCH_LANES = 32
 
 #: Sleep between dispatch-loop iterations while results are outstanding.
 #: Small enough that flush latency is invisible next to point runtimes,
@@ -169,6 +188,62 @@ def execute_point(payload: Dict[str, Any]) -> Tuple[Dict[str, Any], float]:
     record["key"] = point.key()
     record["point"] = point.to_dict()
     return record, time.perf_counter() - t0
+
+
+def execute_batch(
+    payloads: Sequence[Dict[str, Any]],
+) -> List[Tuple[Dict[str, Any], float]]:
+    """Run several experiment points through one batched kernel call.
+
+    The batched sibling of :func:`execute_point`: ``payloads`` are point
+    payloads (see there) whose configs share one structural specialization
+    key — the runner groups them that way — and the whole group is
+    simulated as lock-step lanes of :func:`repro.engine.batch.simulate_batch`.
+    Returns one ``(record, elapsed_seconds)`` pair per payload, in order;
+    every record is field-for-field identical to what :func:`execute_point`
+    would produce for that point (stores must not depend on batching), and
+    elapsed is the batch wall-clock split evenly across the lanes.
+
+    Any lane's failure (including an injected fault) fails the whole call —
+    the caller charges each member one attempt and falls back to per-point
+    execution, so one poisoned point cannot permanently wedge its
+    batch-mates.
+    """
+    t0 = time.perf_counter()
+    points: List[ExperimentPoint] = []
+    for payload in payloads:
+        data = dict(payload)
+        mix_definition = data.pop("_mix_definition", None)
+        data.pop("_kernel_variant", None)
+        attempt = data.pop("_attempt", 1)
+        if mix_definition is not None and \
+                mix_definition.name not in MIX_REGISTRY:
+            register_mix(mix_definition)
+        point = ExperimentPoint.from_dict(data)
+        maybe_inject(point.key(), attempt)
+        points.append(point)
+    traces = [
+        _cached_trace(p.mix, p.n_instructions, p.seed) for p in points
+    ]
+    results = simulate_batch(traces, [p.config for p in points])
+    per_lane = (time.perf_counter() - t0) / len(points) if points else 0.0
+    out: List[Tuple[Dict[str, Any], float]] = []
+    for point, trace, result in zip(points, traces, results):
+        if result.n_instructions and result.cycles <= 0:
+            raise SimulationError(
+                f"trace {trace.name!r}: simulation produced no forward "
+                "progress"
+            )
+        record = {
+            "engine_version": ENGINE_VERSION,
+            "config_digest": point.config.config_digest(),
+            "trace": trace.name,
+            "result": result.to_dict(),
+            "key": point.key(),
+            "point": point.to_dict(),
+        }
+        out.append((record, per_lane))
+    return out
 
 
 @dataclass(frozen=True)
@@ -365,16 +440,19 @@ class _FrontierExecutor:
         say: Callable[[str], None],
         on_point_done: Optional[Callable[[str, Dict[str, Any], int], None]] = None,
         should_stop: Optional[Callable[[], bool]] = None,
+        batch: bool = False,
     ) -> None:
         self.tasks = tasks
         self.store = store
         self.policy = policy
         self.n_workers = n_workers
         self.use_pool = use_pool
+        self.batch = batch
         self.say = say
         self.on_point_done = on_point_done
         self.should_stop = should_stop
         self.pool: Optional[multiprocessing.pool.Pool] = None
+        self._work: List[_PointTask] = list(tasks)
         self.buffer: Dict[int, Tuple[Dict[str, Any], float]] = {}
         self.next_flush = 0
         self.timings: Dict[str, float] = {}
@@ -385,7 +463,10 @@ class _FrontierExecutor:
 
     # -- lifecycle --------------------------------------------------------
     def run(self) -> None:
+        self._work = list(self.tasks)
         try:
+            if self.batch:
+                self._work = self._run_batches(self._work)
             if self.use_pool:
                 self._run_pool()
             else:
@@ -402,6 +483,8 @@ class _FrontierExecutor:
                 )
 
     def _spawn_pool(self) -> None:
+        if self.pool is not None:  # carried over from the batch pre-phase
+            return
         self.pool = multiprocessing.Pool(
             processes=self.n_workers, initializer=_worker_init
         )
@@ -485,9 +568,144 @@ class _FrontierExecutor:
         if self.should_stop is not None and self.should_stop():
             raise KeyboardInterrupt()
 
+    # -- batched execution (kernel_variant="batch") -----------------------
+    def _group_batches(
+        self, tasks: List["_PointTask"],
+    ) -> List[List["_PointTask"]]:
+        """Group tasks by structural specialization key, chunked to
+        :data:`MAX_BATCH_LANES`; singleton chunks are left to the per-point
+        path (which still runs the batch kernel, just with one lane)."""
+        groups: "OrderedDict[str, List[_PointTask]]" = OrderedDict()
+        for task in tasks:
+            key = specialization_key(task.point.config)
+            groups.setdefault(key, []).append(task)
+        batches: List[List[_PointTask]] = []
+        for members in groups.values():
+            for start in range(0, len(members), MAX_BATCH_LANES):
+                chunk = members[start:start + MAX_BATCH_LANES]
+                if len(chunk) >= 2:
+                    batches.append(chunk)
+        # Earliest expansion index first, so the flush frontier advances
+        # as soon as possible.
+        batches.sort(key=lambda chunk: chunk[0].index)
+        return batches
+
+    def _run_batches(
+        self, tasks: List["_PointTask"],
+    ) -> List["_PointTask"]:
+        """Pre-phase for the batch variant: execute every multi-point
+        specialization-key group through one :func:`execute_batch` call
+        each, demuxing per-point records into the ordinary flush frontier.
+
+        Returns the tasks still owed to the per-point path: singletons the
+        grouping left behind, plus every member of a failed batch — each
+        charged one attempt, so a poisoned point converges on its own
+        retry budget instead of wedging its batch-mates forever.
+        """
+        batches = self._group_batches(tasks)
+        if not batches:
+            return tasks
+        self.say(
+            f"  batch variant: {sum(len(b) for b in batches)} of "
+            f"{len(tasks)} point(s) in {len(batches)} batched kernel "
+            "call(s), grouped by specialization key"
+        )
+        settled: set = set()
+        scrap: List[_PointTask] = []   # _on_error's requeue; unused here
+        if not self.use_pool:
+            for chunk in batches:
+                self._check_stop()
+                payloads = [
+                    dict(task.payload, _attempt=task.attempts + 1)
+                    for task in chunk
+                ]
+                t0 = time.perf_counter()
+                try:
+                    pairs = execute_batch(payloads)
+                except KeyboardInterrupt:
+                    raise
+                except Exception as exc:
+                    share = (time.perf_counter() - t0) / len(chunk)
+                    for task in chunk:
+                        task.attempts += 1
+                        task.elapsed += share
+                        self._on_error(task, exc, scrap)
+                else:
+                    for task, (record, elapsed) in zip(chunk, pairs):
+                        task.attempts += 1
+                        task.elapsed += elapsed
+                        self._complete(task, record, elapsed)
+                        settled.add(task.index)
+        else:
+            self._spawn_pool()
+            assert self.pool is not None
+            in_flight = [
+                (chunk, self.pool.apply_async(
+                    execute_batch,
+                    ([dict(task.payload, _attempt=task.attempts + 1)
+                      for task in chunk],),
+                ))
+                for chunk in batches
+            ]
+            pool_lost = False
+            for chunk, async_result in in_flight:
+                if pool_lost:
+                    # The pool died with this batch's attempt in flight;
+                    # nobody is charged — the per-point path recomputes.
+                    continue
+                deadline = (
+                    time.monotonic() + self.policy.timeout_s * len(chunk)
+                    if self.policy.timeout_s is not None else None
+                )
+                while True:
+                    self._check_stop()
+                    try:
+                        pairs = async_result.get(timeout=_POLL_INTERVAL_S)
+                    except multiprocessing.TimeoutError:
+                        if deadline is not None and \
+                                time.monotonic() >= deadline:
+                            exc = TimeoutError(
+                                f"batch of {len(chunk)} point(s): no "
+                                f"result within "
+                                f"{self.policy.timeout_s * len(chunk):.1f}s "
+                                "(worker hung or died)"
+                            )
+                            for task in chunk:
+                                task.attempts += 1
+                                task.elapsed += self.policy.timeout_s
+                                self._on_error(task, exc, scrap)
+                            self.say(
+                                "  pool replaced after batch timeout; "
+                                "remaining batches fall back to "
+                                "per-point execution"
+                            )
+                            self._shutdown_pool()
+                            pool_lost = True
+                            break
+                        continue
+                    except KeyboardInterrupt:
+                        raise
+                    except Exception as exc:
+                        for task in chunk:
+                            task.attempts += 1
+                            self._on_error(task, exc, scrap)
+                        break
+                    else:
+                        for task, (record, elapsed) in zip(chunk, pairs):
+                            task.attempts += 1
+                            task.elapsed += elapsed
+                            self._complete(task, record, elapsed)
+                            settled.add(task.index)
+                        break
+        return [
+            task for task in tasks
+            if task.index not in settled
+            and task.index not in self.failed_indexes
+        ]
+
     # -- inline execution (no pool) ---------------------------------------
     def _run_inline(self) -> None:
-        for task in self.tasks:
+        for task in self._work:
             while True:
                 self._check_stop()
                 if task.ready_at:
@@ -552,7 +770,7 @@ class _FrontierExecutor:
 
     def _run_pool(self) -> None:
         self._spawn_pool()
-        waiting = list(self.tasks)
+        waiting = list(self._work)
         in_flight: Dict[int, _PointTask] = {}
         while waiting or in_flight:
             self._check_stop()
@@ -648,8 +866,11 @@ def run_sweep(
     :func:`default_workers`; the pool is skipped entirely when the pending
     shard is too small to amortise process startup.  ``kernel_variant``
     selects the simulation kernel per worker (see
-    :class:`repro.engine.Pipeline`); both variants produce identical
-    records, so the store contents do not depend on it.  ``policy``
+    :class:`repro.engine.Pipeline`); every variant produces identical
+    records, so the store contents do not depend on it.  The ``batch``
+    variant additionally groups pending points that share a structural
+    specialization key into single vectorized kernel calls (see the module
+    docstring) — again without touching store bytes.  ``policy``
     configures retry/timeout/backoff handling (default: three attempts,
     0.1 s base backoff, no timeout).
 
@@ -676,6 +897,9 @@ def run_sweep(
     n_workers = default_workers() if workers is None else max(1, int(workers))
     retry_policy = RetryPolicy() if policy is None else policy
     say = log if log is not None else (lambda _msg: None)
+    # Resolve (and validate) the variant once, up front: the batch variant
+    # changes how work is scheduled, not just what each worker runs.
+    resolved_variant = resolve_kernel_variant(kernel_variant)
 
     # Deduplicate while preserving expansion order: a grid with repeated
     # points (e.g. overlapping specs) must not compute the same key twice.
@@ -713,6 +937,7 @@ def run_sweep(
         executor = _FrontierExecutor(
             tasks, store, retry_policy, n_workers, use_pool, say,
             on_point_done=on_point_done, should_stop=should_stop,
+            batch=(resolved_variant == "batch"),
         )
         restore_sigterm = _convert_sigterm()
         try:
@@ -734,7 +959,7 @@ def run_sweep(
         n_workers=n_workers,
         elapsed_s=time.perf_counter() - t0,
         timings=timings,
-        kernel_variant=resolve_kernel_variant(kernel_variant),
+        kernel_variant=resolved_variant,
         failures=failures,
         n_discarded=n_discarded,
         interrupted=interrupted,
@@ -745,6 +970,7 @@ def run_sweep(
 
 
 __all__ = [
+    "MAX_BATCH_LANES",
     "MIN_POINTS_PER_WORKER",
     "TRACE_CACHE_SIZE",
     "FailureRecord",
@@ -753,6 +979,7 @@ __all__ = [
     "SweepSummary",
     "clear_trace_cache",
     "default_workers",
+    "execute_batch",
     "execute_point",
     "run_sweep",
 ]

@@ -33,6 +33,7 @@ from repro.engine import (
     Pipeline,
     emit_kernel_source,
     simulate,
+    simulate_batch,
     simulate_specialized,
     specialization_key,
 )
@@ -167,7 +168,8 @@ class TestBreakdownInvariants:
     def test_total_is_component_sum(self, topology, mix):
         cfg = ProcessorConfig(topology=topology, energy=ENERGY_ON)
         trace = generate_trace(mix, 1200, seed=11)
-        for result in (simulate(trace, cfg), simulate_specialized(trace, cfg)):
+        for result in (simulate(trace, cfg), simulate_specialized(trace, cfg),
+                       simulate_batch([trace], cfg)[0]):
             assert set(result.energy) == set(ENERGY_COMPONENTS) | {"total"}
             assert result.energy["total"] == sum(
                 result.energy[c] for c in ENERGY_COMPONENTS
@@ -233,6 +235,7 @@ class TestBreakdownInvariants:
             assert on.energy is not None
             assert dataclasses.replace(on, energy=None) == off
             assert simulate_specialized(trace, cfg_on) == on
+            assert simulate_batch([trace], cfg_on)[0] == on
 
     def test_fold_breakdown_matches_kernel(self):
         # The shared fold, fed the kernel's own counters, reproduces the
@@ -355,7 +358,10 @@ class TestOffIsByteIdenticalToPrePR:
                                      kernel_variant="specialized")
         generic = self._store_bytes(tmp_path, "gen.jsonl",
                                     kernel_variant="generic")
+        batch = self._store_bytes(tmp_path, "batch.jsonl",
+                                  kernel_variant="batch")
         assert baseline == generic
+        assert baseline == batch
 
     def test_energy_store_identical_across_variants(self, tmp_path):
         spec = SweepSpec(
@@ -369,13 +375,28 @@ class TestOffIsByteIdenticalToPrePR:
             base={"energy.enabled": True},
         )
         stores = []
-        for variant in ("specialized", "generic"):
+        for variant in ("specialized", "generic", "batch"):
             store = ResultStore(str(tmp_path / f"{variant}.jsonl"))
             run_sweep(spec.expand(), store, workers=1, kernel_variant=variant)
             with open(store.path, "rb") as fh:
                 stores.append(fh.read())
-        assert stores[0] == stores[1]
+        assert stores[0] == stores[1] == stores[2]
         assert b'"energy"' in stores[0]
+
+    def test_energy_exact_across_ragged_batch(self):
+        # One batched call whose lanes finish at different steps; every
+        # lane's energy breakdown must match the generic kernel's for that
+        # lane alone, component by component, as exact integers.
+        cfg = ProcessorConfig(energy=ENERGY_ON)
+        lanes = [
+            generate_trace("int_heavy", n, seed=300 + n)
+            for n in (1, 37, 400, 400, 158)
+        ]
+        for lane_result, trace in zip(simulate_batch(lanes, cfg), lanes):
+            reference = simulate(trace, cfg)
+            for component in ENERGY_COMPONENTS + ("total",):
+                assert lane_result.energy[component] == \
+                    reference.energy[component], (len(trace), component)
 
 
 class TestPipelineSurface:
@@ -399,7 +420,7 @@ class TestPipelineSurface:
         # Regression: records must be attributable to the kernel variant
         # that produced them (the sweep runner strips it before the store).
         trace = generate_trace("int_heavy", 300, seed=6)
-        for variant in ("generic", "specialized"):
+        for variant in ("generic", "specialized", "batch"):
             record = Pipeline(ProcessorConfig(),
                               kernel_variant=variant).run_record(trace)
             assert record["kernel_variant"] == variant

@@ -11,6 +11,7 @@ from repro.fabric import (
     BackendHealth,
     FabricCoordinator,
     LocalBackend,
+    PeerBackend,
     RunnerBackend,
     Shard,
     ShardExecutionError,
@@ -299,6 +300,68 @@ class _HangingBackend(RunnerBackend):
         raise ShardExecutionError(f"{self.name}: released")
 
 
+class _LateSuccessBackend(RunnerBackend):
+    """Holds its shard (never heartbeating) until released, then returns a
+    *valid* result — the classic expired-lease straggler."""
+
+    def __init__(self, scratch_dir, name="late"):
+        self.name = name
+        self.release = threading.Event()
+        self.started = threading.Event()
+        self._delegate = LocalBackend(scratch_dir, workers=1, name=name)
+
+    def run_shard(self, spec, shard, heartbeat):
+        self.started.set()
+        if not self.release.wait(timeout=30.0):
+            raise ShardExecutionError(f"{self.name}: never released")
+        return self._delegate.run_shard(spec, shard, lambda: None)
+
+
+class _GatedBackend(RunnerBackend):
+    """A healthy backend that blocks (while heartbeating) until released,
+    keeping the coordinator loop alive for event-sequenced tests."""
+
+    def __init__(self, scratch_dir, name="gated"):
+        self.name = name
+        self.release = threading.Event()
+        self.started = threading.Event()
+        self._delegate = LocalBackend(scratch_dir, workers=1, name=name)
+
+    def run_shard(self, spec, shard, heartbeat):
+        self.started.set()
+        while not self.release.wait(timeout=0.02):
+            heartbeat()
+        return self._delegate.run_shard(spec, shard, heartbeat)
+
+
+class _FailingPeer(PeerBackend):
+    """Stands in for a peer that dies on its first shard.  Subclasses
+    PeerBackend (sans client) so degradation accounting sees it."""
+
+    def __init__(self, name="peer"):
+        self.name = name
+
+    def probe(self):
+        return False
+
+    def run_shard(self, spec, shard, heartbeat):
+        heartbeat()
+        raise ShardExecutionError(f"{self.name}: synthetic peer death")
+
+
+class _InstantBackend(RunnerBackend):
+    """Serves precomputed records with zero latency — several of these
+    finish many shards inside one coordinator poll interval."""
+
+    def __init__(self, records_by_key, name):
+        self.name = name
+        self._records = records_by_key
+
+    def run_shard(self, spec, shard, heartbeat):
+        heartbeat()
+        return [self._records[key] for key in shard.keys]
+
+
 class TestFabricCoordinator:
     def test_local_only_matches_single_host_bytes(self, tmp_path):
         spec = tiny_spec(seeds=(1, 2, 3))
@@ -510,6 +573,124 @@ class TestFabricCoordinator:
         _run(folded.expand(), reference, workers=1)
         assert (tmp_path / "ref.jsonl").read_bytes() == \
             (tmp_path / "store.jsonl").read_bytes()
+
+    def test_late_success_does_not_resurrect_dead_backend(self, tmp_path):
+        # Flapping peer: its lease expires (failure -> DEAD), the shard
+        # fails over, and THEN its original attempt completes fine.  The
+        # late success is accepted as data (at-least-once) but must not
+        # touch health — a DEAD backend stays dead until probation, it is
+        # not resurrected straight to ALIVE by a stale thread.
+        clock = FakeClock()
+        spec = tiny_spec()  # 4 points
+        ref = reference_store(spec, tmp_path / "ref.jsonl")
+        store = ResultStore(str(tmp_path / "fab.jsonl"))
+        late = _LateSuccessBackend(str(tmp_path / "scratch-late"))
+        gated = _GatedBackend(str(tmp_path / "scratch-gated"))
+        coordinator = FabricCoordinator(
+            [late, gated], shard_size=2,
+            lease_timeout_s=60.0, poll_s=0.02,
+            dead_after=1, cooldown_s=100000.0, clock=clock,
+        )
+        result = {}
+
+        def drive():
+            result["summary"] = coordinator.run(spec, store)
+
+        runner = threading.Thread(target=drive, daemon=True)
+        runner.start()
+        assert late.started.wait(timeout=10.0)
+        assert gated.started.wait(timeout=10.0)
+        # Walk the fake clock past the lease timeout in sub-timeout steps:
+        # the non-beating late backend expires, while the gated one keeps
+        # renewing its lease between steps (it beats on wall time).
+        for _ in range(3):
+            clock.advance(31.0)
+            time.sleep(0.15)
+        deadline = time.monotonic() + 10.0
+        while coordinator.health[late.name]._state != DEAD and \
+                time.monotonic() < deadline:
+            time.sleep(0.02)
+        assert coordinator.health[late.name]._state == DEAD
+        # The straggler now finishes its (still-open, since the only other
+        # backend is busy) shard successfully...
+        late.release.set()
+        deadline = time.monotonic() + 10.0
+        while coordinator._completed_by[late.name] == 0 and \
+                time.monotonic() < deadline:
+            time.sleep(0.02)
+        assert coordinator._completed_by[late.name] == 1
+        # ...and its health must NOT have been reset by that success.
+        assert coordinator.health[late.name]._state == DEAD
+        gated.release.set()
+        runner.join(timeout=30.0)
+        assert not runner.is_alive()
+        summary = result["summary"]
+        assert summary.n_expired_leases == 1
+        assert summary.backends[late.name]["state"] == "dead"
+        assert summary.backends[late.name]["shards_completed"] == 1
+        assert open(ref.path, "rb").read() == open(store.path, "rb").read()
+
+    def test_degraded_snapshot_is_immune_to_cooldown_expiry(self, tmp_path):
+        # The peer dies during the run; by the time the summary is built
+        # the (fake) clock has moved past its cooldown, so status() will
+        # report post-cooldown "probation".  degraded must still be True:
+        # it is snapshotted before the stats pass, not re-derived after
+        # the promoting state read.
+        clock = FakeClock()
+        spec = tiny_spec()  # 4 points -> 2 shards of 2
+        ref = reference_store(spec, tmp_path / "ref.jsonl")
+        store = ResultStore(str(tmp_path / "fab.jsonl"))
+        peer = _FailingPeer()
+
+        class _JumpingLocal(LocalBackend):
+            """Advances the fake clock past the peer's cooldown while
+            computing its final shard."""
+
+            def run_shard(self, spec_, shard, heartbeat):
+                records = super().run_shard(spec_, shard, heartbeat)
+                if shard.index == 0:  # requeued peer shard runs last
+                    clock.advance(10.0)
+                return records
+
+        local = _JumpingLocal(str(tmp_path / "scratch"), workers=1)
+        coordinator = FabricCoordinator(
+            [peer, local], shard_size=2,
+            dead_after=1, cooldown_s=5.0, lease_timeout_s=3600.0,
+            clock=clock,
+        )
+        summary = coordinator.run(spec, store)
+        assert summary.degraded is True
+        assert summary.backends[peer.name]["state"] == "probation"
+        assert "degraded to local-only" in summary.describe()
+        assert open(ref.path, "rb").read() == open(store.path, "rb").read()
+
+    def test_fast_backends_drain_multiple_completions_per_tick(self, tmp_path):
+        # Four instant backends finish whole waves of shards inside one
+        # (deliberately long) poll interval; the loop must drain every
+        # queued completion per tick instead of consuming one per poll,
+        # and the merge must stay byte-identical.
+        spec = tiny_spec(seeds=tuple(range(1, 7)))  # 12 points
+        ref = reference_store(spec, tmp_path / "ref.jsonl")
+        records = {key: ref.get(key) for key in ref.keys()}
+        backends = [
+            _InstantBackend(records, name=f"fast{i}") for i in range(4)
+        ]
+        store = ResultStore(str(tmp_path / "fab.jsonl"))
+        coordinator = FabricCoordinator(
+            backends, shard_size=1, poll_s=0.2,
+        )
+        t0 = time.monotonic()
+        summary = coordinator.run(spec, store)
+        elapsed = time.monotonic() - t0
+        assert summary.n_computed == 12
+        assert summary.n_shards == 12
+        # 12 shards at one completion per 0.2s tick would take >= 2.4s;
+        # draining finishes in a handful of ticks.
+        assert elapsed < 2.0
+        assert sum(
+            stats["shards_completed"] for stats in summary.backends.values()
+        ) == 12
+        assert open(ref.path, "rb").read() == open(store.path, "rb").read()
 
     def test_no_leaked_threads_or_processes(self, tmp_path):
         import multiprocessing

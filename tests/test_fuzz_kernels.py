@@ -1,12 +1,17 @@
-"""Differential fuzzing across all three kernel implementations.
+"""Differential fuzzing across all four kernel implementations.
 
 ~75 randomized ``(config, mix, seed)`` points, deliberately biased toward
 the corners the specializer folds differently — non-power-of-two cluster
 counts, ``bus.bandwidth > 1``, ``hop_latency > 1``, ``window_size == 1``,
 zero-FP mixes on FP-less clusters — asserting that the naive
-object-per-instruction oracle, the generic table-driven loop, and the
-per-config compiled specialized kernel agree on **every**
-:class:`KernelResult` field, not just cycles.
+object-per-instruction oracle, the generic table-driven loop, the
+per-config compiled specialized kernel, and the lane-vectorized batch
+kernel agree on **every** :class:`KernelResult` field, not just cycles.
+The batch kernel is additionally fuzzed at real batch sizes: ragged lane
+groups (mixed lengths, so batches span finished and still-running lanes,
+single-instruction and B=1 degenerate shapes included) where every lane
+must reproduce the generic kernel exactly, energy components with exact
+integer equality.
 
 The steering axis is drawn uniformly from ``repro.steering.list_policies()``
 — the live registry — so every registered policy (the three built-ins, the
@@ -33,7 +38,12 @@ import pytest
 from repro.common.config import BusConfig, ClusterConfig, ProcessorConfig
 from repro.common.types import Topology
 from repro.energy import ENERGY_COMPONENTS, EnergyConfig, FuEnergy
-from repro.engine import KernelResult, simulate, simulate_specialized
+from repro.engine import (
+    KernelResult,
+    simulate,
+    simulate_batch,
+    simulate_specialized,
+)
 from repro.steering import list_policies
 from repro.workloads import generate_trace
 
@@ -123,7 +133,7 @@ def kernel_result_fields(result):
 
 
 @pytest.mark.parametrize("index", range(N_POINTS))
-def test_three_way_agreement(index):
+def test_four_way_agreement(index):
     from naive_ref import NaivePipeline
 
     rng = random.Random(0xA6E11A + index)
@@ -133,9 +143,11 @@ def test_three_way_agreement(index):
     naive = NaivePipeline(cfg).run(trace)
     generic = kernel_result_fields(simulate(trace, cfg))
     specialized = kernel_result_fields(simulate_specialized(trace, cfg))
+    batch = kernel_result_fields(simulate_batch([trace], cfg)[0])
 
     label = f"point {index}: {cfg.describe()} mix={mix} seed={seed}"
     assert generic == specialized, f"generic vs specialized diverge: {label}"
+    assert generic == batch, f"generic vs batch diverge: {label}"
     for field in FIELDS:
         assert naive[field] == generic[field], (
             f"naive vs kernel diverge on {field!r}: {label}: "
@@ -156,3 +168,35 @@ def test_three_way_agreement(index):
     else:
         assert naive["energy"] is None
         assert generic["energy"] is None
+
+
+@pytest.mark.parametrize("index", range(20))
+def test_batched_ragged_lanes_agree_with_generic(index):
+    """Real batch shapes: each randomized point becomes the first lane of
+    a ragged batch (companion lanes drawn from the point's own mix, with
+    degenerate and mismatched lengths so the batch spans finished and
+    still-running lanes), and every lane must equal the generic kernel's
+    result for that lane alone — energy components included, exactly."""
+    rng = random.Random(0xBA7C4E + index)
+    cfg, mix, seed = random_point(rng)
+    n0 = rng.randrange(1, 400)
+    lanes = [generate_trace(mix, n0, seed=seed)]
+    # Companion lanes must share the point's mix: a zero-FP cluster only
+    # accepts FP-free traces, and the config is shared batch-wide.
+    for k in range(rng.randrange(1, 6)):
+        length = rng.choice([1, 2, n0, rng.randrange(1, 500)])
+        lanes.append(generate_trace(mix, length, seed=seed + 1000 + k))
+    batch = simulate_batch(lanes, cfg)
+    assert len(batch) == len(lanes)
+    label = f"point {index}: {cfg.describe()} mix={mix} seed={seed}"
+    for lane_index, (trace, lane_result) in enumerate(zip(lanes, batch)):
+        reference = simulate(trace, cfg)
+        assert lane_result == reference, (
+            f"lane {lane_index} (n={len(trace)}) diverges: {label}"
+        )
+        if cfg.energy.enabled:
+            for component in ENERGY_COMPONENTS + ("total",):
+                assert lane_result.energy[component] == \
+                    reference.energy[component], (
+                        f"lane {lane_index} energy {component!r}: {label}"
+                    )

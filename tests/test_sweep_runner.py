@@ -335,3 +335,113 @@ class TestProgressHooks:
         assert summary.n_computed == 4 and not summary.interrupted
         with open(plain, "rb") as fa, open(guarded, "rb") as fb:
             assert fa.read() == fb.read()
+
+
+class TestBatchVariant:
+    """kernel_variant="batch": the runner groups same-specialization-key
+    points into single vectorized kernel calls, without touching bytes."""
+
+    def _bytes(self, path):
+        with open(path, "rb") as fh:
+            return fh.read()
+
+    def test_store_byte_identical_inline_and_pool(self, tmp_path):
+        spec = small_spec(cluster_counts=(2, 4, 8), seeds=(1, 2, 3))  # 18
+        reference = str(tmp_path / "generic.jsonl")
+        run_sweep(spec.expand(), ResultStore(reference), workers=1,
+                  kernel_variant="generic")
+        inline = str(tmp_path / "batch-inline.jsonl")
+        summary = run_sweep(spec.expand(), ResultStore(inline), workers=1,
+                            kernel_variant="batch")
+        assert summary.kernel_variant == "batch"
+        assert summary.n_computed == 18
+        pooled = str(tmp_path / "batch-pool.jsonl")
+        run_sweep(spec.expand(), ResultStore(pooled), workers=2,
+                  kernel_variant="batch")
+        assert self._bytes(inline) == self._bytes(reference)
+        assert self._bytes(pooled) == self._bytes(reference)
+
+    def test_groups_by_specialization_key(self, tmp_path):
+        # 4 distinct machine shapes x 3 seeds: 4 batched calls of 3 lanes.
+        spec = small_spec(seeds=(1, 2, 3))
+        messages = []
+        run_sweep(spec.expand(), ResultStore(str(tmp_path / "s.jsonl")),
+                  workers=1, kernel_variant="batch", log=messages.append)
+        batched = [m for m in messages if "batch variant:" in m]
+        assert len(batched) == 1
+        assert "12 of 12 point(s) in 4 batched kernel call(s)" in batched[0]
+
+    def test_oversize_groups_chunk_to_max_lanes(self, tmp_path):
+        from repro.sweep.runner import MAX_BATCH_LANES
+
+        n_seeds = MAX_BATCH_LANES + 3
+        spec = small_spec(topologies=("ring",), cluster_counts=(2,),
+                          n_instructions=60, seeds=tuple(range(n_seeds)))
+        reference = str(tmp_path / "generic.jsonl")
+        run_sweep(spec.expand(), ResultStore(reference), workers=1,
+                  kernel_variant="generic")
+        batch = str(tmp_path / "batch.jsonl")
+        messages = []
+        run_sweep(spec.expand(), ResultStore(batch), workers=1,
+                  kernel_variant="batch", log=messages.append)
+        joined = "\n".join(messages)
+        assert (f"{n_seeds} of {n_seeds} point(s) in 2 "
+                "batched kernel call(s)") in joined
+        assert self._bytes(batch) == self._bytes(reference)
+
+    def test_singleton_groups_fall_back_to_per_point(self, tmp_path):
+        # Every point has its own specialization key: nothing batches, the
+        # per-point path runs the batch kernel with one lane, bytes match.
+        spec = small_spec()
+        reference = str(tmp_path / "generic.jsonl")
+        run_sweep(spec.expand(), ResultStore(reference), workers=1,
+                  kernel_variant="generic")
+        batch = str(tmp_path / "batch.jsonl")
+        messages = []
+        summary = run_sweep(spec.expand(), ResultStore(batch), workers=1,
+                            kernel_variant="batch", log=messages.append)
+        assert not any("batch variant:" in m for m in messages)
+        assert summary.n_computed == 4
+        assert self._bytes(batch) == self._bytes(reference)
+
+    def test_execute_batch_records_match_execute_point(self):
+        from repro.sweep.runner import _payload_for, execute_batch
+
+        spec = small_spec(topologies=("conv",), cluster_counts=(4,),
+                          seeds=(1, 2, 3))
+        points = spec.expand()
+        payloads = [_payload_for(point) for point in points]
+        batched = execute_batch(payloads)
+        assert len(batched) == len(points)
+        for payload, (record, elapsed) in zip(payloads, batched):
+            reference, _ = execute_point(dict(payload))
+            assert record == reference
+            assert elapsed >= 0
+
+    def test_failed_batch_demotes_to_per_point(self, tmp_path, monkeypatch):
+        # Every point's first attempt raises an injected fault, so every
+        # batched call fails wholesale; each member is charged one attempt
+        # and recomputed point by point — converging on identical bytes.
+        from repro.faults import ENV_VAR, FaultPlan
+        from repro.sweep.runner import RetryPolicy
+
+        spec = small_spec(seeds=(1, 2, 3))
+        reference = str(tmp_path / "generic.jsonl")
+        run_sweep(spec.expand(), ResultStore(reference), workers=1,
+                  kernel_variant="generic")
+        monkeypatch.setenv(
+            ENV_VAR,
+            FaultPlan(seed=5, exception_rate=1.0,
+                      max_faults_per_point=1).to_env(),
+        )
+        batch = str(tmp_path / "batch.jsonl")
+        messages = []
+        summary = run_sweep(
+            spec.expand(), ResultStore(batch), workers=1,
+            kernel_variant="batch", log=messages.append,
+            policy=RetryPolicy(max_attempts=3, backoff_s=0.0),
+        )
+        assert summary.n_computed == 12
+        assert not summary.failures
+        assert any("retry" in m for m in messages)
+        assert self._bytes(batch) == self._bytes(reference)
