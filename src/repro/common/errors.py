@@ -51,7 +51,17 @@ class FabricError(ReproError):
     backend, or the fabric is configured without any backend at all.  The
     coordinator's store keeps its flushed expansion-order prefix, so a
     re-run resumes from where the failure stopped it.
+
+    When the failure happened mid-run, :attr:`summary` carries the partial
+    ``FabricSummary`` (same failure schema as the sweep's summary:
+    per-point ``failures`` plus ``n_discarded``) so callers can report
+    what was saved — mirroring how ``SweepInterrupted`` carries its
+    partial ``SweepSummary``.
     """
+
+    def __init__(self, message: str, summary: object = None) -> None:
+        super().__init__(message)
+        self.summary = summary
 
 
 class SimulationError(ReproError):

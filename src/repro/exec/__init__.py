@@ -1,0 +1,57 @@
+"""The unified execution plane: frontier / attempts / leases / checkpoints.
+
+Every durability and byte-identity guarantee in this reproduction rests on
+the same small set of coordination mechanisms, which until this package
+existed were re-implemented — slightly differently each time — in three
+feature layers:
+
+* the sweep runner's expansion-order *flush frontier* (records buffered
+  out of order, appended strictly in order);
+* the fabric coordinator's shard *merge frontier* plus lease/heartbeat
+  supervision and shard attempt budgets;
+* the service job manager's and HTTP client's retry/backoff bookkeeping.
+
+:mod:`repro.exec` is the single, engine-agnostic home for that machinery:
+
+* :mod:`repro.exec.frontier` — :class:`FlushFrontier`, the ordered
+  flush/merge frontier over indexed work items (buffered out-of-order
+  completions, strict-prefix durability, blocking failures, discard
+  accounting), plus :func:`dedup_points`-style canonical ordering via
+  :func:`dedup_ordered`;
+* :mod:`repro.exec.attempts` — :class:`RetryPolicy`, the shared
+  deterministic :func:`backoff_delay`, and :class:`AttemptTracker`
+  attempt-budget bookkeeping;
+* :mod:`repro.exec.lease` — :class:`Lease`/:class:`LeaseTable`
+  heartbeat-renewed ownership with expiry sweeps;
+* :mod:`repro.exec.checkpoint` — atomic (tmp + replace + fsync) JSON
+  snapshots of coordinator state, so an orchestrator killed mid-run can
+  be replaced by a new process that resumes exactly where it stopped.
+
+Nothing in here knows about experiment points, shards, stores, or HTTP —
+the feature layers supply the payloads and the emit/merge callbacks, and
+inherit the invariants (most importantly: *what is emitted is always a
+strict index prefix of the fault-free order*) from one implementation
+instead of three.
+"""
+
+from repro.exec.attempts import AttemptTracker, RetryPolicy, backoff_delay
+from repro.exec.checkpoint import (
+    clear_checkpoint,
+    read_checkpoint,
+    write_checkpoint,
+)
+from repro.exec.frontier import FlushFrontier, dedup_ordered
+from repro.exec.lease import Lease, LeaseTable
+
+__all__ = [
+    "AttemptTracker",
+    "FlushFrontier",
+    "Lease",
+    "LeaseTable",
+    "RetryPolicy",
+    "backoff_delay",
+    "clear_checkpoint",
+    "dedup_ordered",
+    "read_checkpoint",
+    "write_checkpoint",
+]

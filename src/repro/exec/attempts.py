@@ -1,0 +1,136 @@
+"""Retry policies, deterministic backoff, and attempt-budget bookkeeping.
+
+One definition of "how failures are retried" for every layer: the sweep
+runner's per-point retries, the HTTP client's transient-error retries,
+and the fabric coordinator's per-shard requeue budget all draw on the
+same three pieces —
+
+* :func:`backoff_delay` — the deterministic exponential-backoff formula
+  (base doubling per failed attempt, optional cap, **no jitter**: chaos
+  runs must replay identically, which is why every layer pins this exact
+  curve);
+* :class:`RetryPolicy` — a validated ``(max_attempts, backoff_s,
+  timeout_s)`` bundle (previously defined privately by the sweep
+  runner and imported from there by everything else);
+* :class:`AttemptTracker` — per-item delivery counters against a shared
+  budget, with snapshot/restore so a coordinator checkpoint carries its
+  attempt history across a process death (a replacement coordinator must
+  not grant a failing shard a fresh budget).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Hashable, Optional
+
+from repro.common.errors import ConfigurationError
+
+
+def backoff_delay(base_s: float, failed_attempts: int,
+                  cap_s: Optional[float] = None) -> float:
+    """Deterministic exponential backoff before the next attempt.
+
+    ``failed_attempts`` is how many attempts have already failed (>= 1);
+    the delay is ``base_s * 2**(failed_attempts - 1)``, clamped to
+    ``cap_s`` when given.  No jitter, by design — see the module
+    docstring.
+    """
+    if failed_attempts < 1:
+        raise ValueError(
+            f"failed_attempts must be >= 1, got {failed_attempts}"
+        )
+    delay = base_s * (2.0 ** (failed_attempts - 1))
+    if cap_s is not None:
+        delay = min(cap_s, delay)
+    return delay
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How an executor treats an item whose attempt fails, hangs, or dies.
+
+    ``max_attempts`` bounds deliveries per item (1 = no retries).
+    ``backoff_s`` is the pause before the second attempt, doubling for each
+    further one — deterministic, no jitter, so chaos runs are exactly
+    reproducible.  ``timeout_s``, when set, bounds each dispatched
+    attempt's wall-clock; what a timeout *does* (replace a pool, expire a
+    lease) is the executor's business — the policy only carries the knobs.
+    """
+
+    max_attempts: int = 3
+    backoff_s: float = 0.1
+    timeout_s: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ConfigurationError(
+                f"RetryPolicy.max_attempts must be >= 1, got {self.max_attempts}"
+            )
+        if self.backoff_s < 0:
+            raise ConfigurationError(
+                f"RetryPolicy.backoff_s must be non-negative, got {self.backoff_s}"
+            )
+        if self.timeout_s is not None and self.timeout_s <= 0:
+            raise ConfigurationError(
+                f"RetryPolicy.timeout_s must be positive or None, "
+                f"got {self.timeout_s}"
+            )
+
+    def backoff_for(self, failed_attempts: int) -> float:
+        """Backoff before attempt ``failed_attempts + 1`` (exponential)."""
+        return backoff_delay(self.backoff_s, failed_attempts)
+
+
+class AttemptTracker:
+    """Delivery attempts per item against one shared budget.
+
+    Items are arbitrary hashable ids (point keys, shard ordinals).  An
+    item that has been :meth:`charge`\\ d ``max_attempts`` times is
+    *exhausted* — the caller decides what that means (fail the point,
+    raise a fabric error).  ``snapshot()``/``restore()`` round-trip the
+    counters through plain JSON so checkpoints can carry them.
+    """
+
+    def __init__(self, max_attempts: int) -> None:
+        if max_attempts < 1:
+            raise ConfigurationError(
+                f"AttemptTracker.max_attempts must be >= 1, "
+                f"got {max_attempts}"
+            )
+        self.max_attempts = max_attempts
+        self._counts: Dict[Hashable, int] = {}
+
+    def charge(self, item: Hashable) -> int:
+        """Count one delivery attempt for ``item``; returns the new total."""
+        total = self._counts.get(item, 0) + 1
+        self._counts[item] = total
+        return total
+
+    def attempts(self, item: Hashable) -> int:
+        return self._counts.get(item, 0)
+
+    def exhausted(self, item: Hashable) -> bool:
+        return self._counts.get(item, 0) >= self.max_attempts
+
+    def remaining(self, item: Hashable) -> int:
+        return max(0, self.max_attempts - self._counts.get(item, 0))
+
+    def snapshot(self) -> Dict[str, int]:
+        """JSON-ready counters (keys stringified)."""
+        return {str(item): count for item, count in self._counts.items()}
+
+    def restore(self, counts: Dict[str, int],
+                key: "type" = str) -> None:
+        """Load counters from a :meth:`snapshot`; ``key`` converts the
+        stringified item ids back (``int`` for shard ordinals)."""
+        for item, count in counts.items():
+            self._counts[key(item)] = int(count)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"AttemptTracker(max_attempts={self.max_attempts}, "
+            f"{len(self._counts)} item(s))"
+        )
+
+
+__all__ = ["AttemptTracker", "RetryPolicy", "backoff_delay"]

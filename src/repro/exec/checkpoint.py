@@ -1,0 +1,68 @@
+"""Atomic JSON checkpoints for orchestrator state.
+
+The same durability pattern the service's job persistence established
+(write to a tmp file, fsync, ``os.replace``), packaged for any
+orchestrator that wants to survive its own death: the fabric coordinator
+periodically snapshots its frontier position, attempt counters, and
+buffered completions, and a replacement process started on the same
+store + checkpoint resumes mid-run.
+
+Reads are deliberately forgiving: a missing, torn, or non-JSON
+checkpoint returns ``None`` (the caller starts fresh from the durable
+store — losing a checkpoint costs recomputation, never correctness),
+while `os.replace` atomicity guarantees a reader can never observe a
+half-written file.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Any, Dict, Optional
+
+from repro.common.jsonutil import canonical_json
+
+
+def write_checkpoint(path: str, payload: Dict[str, Any]) -> None:
+    """Persist ``payload`` atomically (tmp + fsync + replace).
+
+    The payload must be JSON-serializable; it is written as canonical
+    JSON plus a trailing newline, so byte-identical states produce
+    byte-identical checkpoint files.
+    """
+    parent = os.path.dirname(os.path.abspath(path))
+    os.makedirs(parent, exist_ok=True)
+    tmp = path + ".tmp"
+    with open(tmp, "w", encoding="utf-8") as fh:
+        fh.write(canonical_json(payload) + "\n")
+        fh.flush()
+        os.fsync(fh.fileno())
+    os.replace(tmp, path)
+
+
+def read_checkpoint(path: str) -> Optional[Dict[str, Any]]:
+    """Load a checkpoint written by :func:`write_checkpoint`.
+
+    Returns ``None`` when the file is missing, unreadable, torn, or not
+    a JSON object — a checkpoint is an optimization, and refusing to
+    start over a broken one would turn a crash into an outage.
+    """
+    try:
+        with open(path, "r", encoding="utf-8") as fh:
+            data = json.load(fh)
+    except (OSError, ValueError, UnicodeDecodeError):
+        return None
+    if not isinstance(data, dict):
+        return None
+    return data
+
+
+def clear_checkpoint(path: str) -> None:
+    """Remove a checkpoint file (run finished); missing is fine."""
+    try:
+        os.remove(path)
+    except OSError:
+        pass
+
+
+__all__ = ["clear_checkpoint", "read_checkpoint", "write_checkpoint"]

@@ -1,0 +1,217 @@
+"""The ordered flush/merge frontier over indexed work items.
+
+Work arrives as ``n_items`` indexed slots (0-based, densely numbered in
+the canonical order — expansion order for sweep points, shard order for
+fabric shards).  Completions may arrive in *any* order; the frontier
+buffers them and emits each one exactly once, strictly in index order,
+the moment every earlier index has been emitted.  The emitted prefix is
+therefore always a byte/index prefix of the fault-free sequential order —
+the invariant both the sweep store layout and the fabric's merged store
+byte-identity rest on.
+
+A *blocked* index (a permanently failed item) stops the frontier: nothing
+at or past it is ever emitted, because emitting around a hole would leave
+a gap that a later resume could only fill out of order.  Completions
+buffered behind a block are *discarded* (counted, so callers can report
+"computed but not persisted; will be recomputed on the next run").
+
+The frontier is deliberately ignorant of what a payload is and what
+"emit" does — the sweep runner appends a record to the store, the fabric
+coordinator merges a shard's records — so one implementation serves every
+layer.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    Hashable,
+    Iterable,
+    List,
+    Optional,
+    Tuple,
+    TypeVar,
+)
+
+K = TypeVar("K", bound=Hashable)
+V = TypeVar("V")
+
+
+def dedup_ordered(
+    items: Iterable[Tuple[K, V]],
+) -> "OrderedDict[K, V]":
+    """First-wins key dedup preserving encounter order.
+
+    The canonical-ordering helper every layer shares: sweep points keyed
+    by content hash, deduped in expansion order, index by index — the
+    pool runner, the service job manager, and the fabric coordinator must
+    all agree on this list or their frontiers would number different
+    work.
+    """
+    keyed: "OrderedDict[K, V]" = OrderedDict()
+    for key, value in items:
+        keyed.setdefault(key, value)
+    return keyed
+
+
+class FlushFrontier:
+    """Strict-prefix emission of out-of-order completions.
+
+    ``emit(index, payload)`` is called exactly once per completed index,
+    strictly in ascending index order, from within :meth:`complete` (or
+    :meth:`advance_to` rehydration) on the calling thread.  An exception
+    raised by ``emit`` propagates to the completer with the frontier
+    still consistent: the failing index stays un-emitted and buffered.
+    """
+
+    def __init__(self, n_items: int,
+                 emit: Callable[[int, Any], None]) -> None:
+        if n_items < 0:
+            raise ValueError(f"n_items must be >= 0, got {n_items}")
+        self.n_items = n_items
+        self._emit = emit
+        self._buffer: Dict[int, Any] = {}
+        self._blocked: set = set()
+        self._position = 0          # next index to emit
+        self.n_flushed = 0
+        self.n_discarded = 0
+
+    # -- queries -----------------------------------------------------------
+    @property
+    def position(self) -> int:
+        """The next index the frontier will emit (= emitted prefix length
+        plus any externally-advanced span; see :meth:`advance_to`)."""
+        return self._position
+
+    @property
+    def done(self) -> bool:
+        """True once every index has been emitted (no blocks, no holes)."""
+        return self._position >= self.n_items
+
+    def is_blocked(self, index: int) -> bool:
+        return index in self._blocked
+
+    @property
+    def blocked(self) -> frozenset:
+        return frozenset(self._blocked)
+
+    def is_buffered(self, index: int) -> bool:
+        return index in self._buffer
+
+    def is_complete(self, index: int) -> bool:
+        """True once ``index`` is settled — emitted already, or buffered
+        awaiting its turn.  (At-least-once callers use this to ignore
+        duplicate deliveries without consulting the payloads.)"""
+        return index < self._position or index in self._buffer
+
+    def buffered(self) -> Dict[int, Any]:
+        """Snapshot of completions waiting behind a hole (index ->
+        payload) — what a checkpoint persists so a successor process can
+        rehydrate them instead of recomputing."""
+        return dict(self._buffer)
+
+    # -- mutations ---------------------------------------------------------
+    def _check_index(self, index: int) -> None:
+        if not (0 <= index < self.n_items):
+            raise IndexError(
+                f"index {index} out of range for frontier of "
+                f"{self.n_items} item(s)"
+            )
+
+    def complete(self, index: int, payload: Any) -> int:
+        """Record ``index`` as completed; flush every emittable prefix
+        item.  Returns how many items this call emitted.  Completing an
+        index twice (an at-least-once duplicate) keeps the first payload;
+        completing an already-emitted index is a no-op.
+        """
+        self._check_index(index)
+        if index < self._position or index in self._blocked:
+            return 0
+        self._buffer.setdefault(index, payload)
+        return self._flush()
+
+    def block(self, index: int) -> None:
+        """Mark ``index`` permanently failed: the frontier will never
+        advance past it.  A buffered completion for the index is dropped
+        (it can no longer be emitted in order)."""
+        self._check_index(index)
+        if index < self._position:
+            raise ValueError(
+                f"cannot block index {index}: already emitted "
+                f"(frontier at {self._position})"
+            )
+        self._blocked.add(index)
+        self._buffer.pop(index, None)
+
+    def advance_to(self, index: int) -> None:
+        """Declare indexes ``[position, index)`` already emitted by an
+        earlier process (resume-from-durable-state): the frontier skips
+        them without calling ``emit``.  Buffered payloads inside the span
+        are dropped silently — they are already durable downstream."""
+        if not (0 <= index <= self.n_items):
+            raise IndexError(
+                f"cannot advance to {index} on a frontier of "
+                f"{self.n_items} item(s)"
+            )
+        if index < self._position:
+            raise ValueError(
+                f"cannot advance backwards to {index} "
+                f"(frontier at {self._position})"
+            )
+        for skipped in range(self._position, index):
+            self._buffer.pop(skipped, None)
+            self._blocked.discard(skipped)
+        self._position = index
+        self._flush()
+
+    def drop(self, index: int) -> bool:
+        """Forget a buffered (un-emitted) completion so it can be redone.
+
+        Used when a payload turns out to be unusable at emit time (e.g. a
+        rehydrated checkpoint shard that conflicts with the store): the
+        slot reopens, and a fresh :meth:`complete` may fill it.  Returns
+        whether anything was dropped; does not count into
+        :attr:`n_discarded` (the caller decided, not the frontier).
+        """
+        return self._buffer.pop(index, None) is not None
+
+    def discard(self) -> int:
+        """Drop every completion still buffered behind a hole or block;
+        returns how many were dropped (cumulative in
+        :attr:`n_discarded`).  Called when a run ends with the frontier
+        blocked — the buffered work was computed but cannot be emitted in
+        order, so it will be recomputed (or cache-hit) on the next run."""
+        dropped = len(self._buffer)
+        self._buffer.clear()
+        self.n_discarded += dropped
+        return dropped
+
+    def _flush(self) -> int:
+        emitted = 0
+        while self._position < self.n_items:
+            if self._position in self._blocked:
+                break
+            if self._position not in self._buffer:
+                break
+            payload = self._buffer[self._position]
+            # Emit BEFORE popping: if emit raises, the payload stays
+            # buffered and the frontier has not advanced — the caller can
+            # retry or abort with consistent state.
+            self._emit(self._position, payload)
+            del self._buffer[self._position]
+            self._position += 1
+            self.n_flushed += 1
+            emitted += 1
+        return emitted
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"FlushFrontier(position={self._position}/{self.n_items}, "
+            f"buffered={len(self._buffer)}, blocked={len(self._blocked)})"
+        )
+
+
+__all__ = ["FlushFrontier", "dedup_ordered"]

@@ -1,0 +1,117 @@
+"""Heartbeat-renewed leases: who owns which work item right now.
+
+Lifted out of the fabric scheduler so any orchestrator can supervise
+remote (or merely slow) executors the same way: a :class:`Lease` is one
+item's claim by one named holder, renewed by :meth:`Lease.beat` from
+whatever thread carries progress callbacks; the :class:`LeaseTable`
+issues tickets, counts in-flight leases per holder (the work-stealing
+dispatch cap), and sweeps out leases whose last heartbeat is older than
+the timeout.
+
+Threading model, inherited from the original scheduler: ``beat()`` is a
+bare float store — atomic under the GIL — so worker threads renew leases
+without locks while the orchestrator loop reads them.  Everything else
+(issue/release/expiry) happens on the orchestrator thread only.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Callable, Dict, Iterator, List, Optional
+
+
+class Lease:
+    """One work item's claim on one holder, renewed by heartbeats."""
+
+    __slots__ = ("ticket", "item", "holder", "clock", "last_beat", "expired")
+
+    def __init__(self, ticket: int, item: Any, holder: str,
+                 clock: Callable[[], float]) -> None:
+        self.ticket = ticket
+        self.item = item
+        self.holder = holder
+        self.clock = clock
+        self.last_beat = clock()
+        self.expired = False
+
+    def beat(self) -> None:
+        """Renew the lease (atomic float store; see module docstring)."""
+        self.last_beat = self.clock()
+
+    def age(self) -> float:
+        return self.clock() - self.last_beat
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "expired" if self.expired else f"age={self.age():.1f}s"
+        return f"Lease(#{self.ticket} {self.item!r} -> {self.holder}, {state})"
+
+
+class LeaseTable:
+    """Issues, tracks, and expires leases for one orchestrator run."""
+
+    def __init__(self, timeout_s: float,
+                 clock: Callable[[], float] = time.monotonic) -> None:
+        if timeout_s <= 0:
+            raise ValueError(f"timeout_s must be positive, got {timeout_s}")
+        self.timeout_s = timeout_s
+        self.clock = clock
+        self._live: Dict[int, Lease] = {}
+        #: Every lease ever issued, by ticket — completions may arrive
+        #: after expiry, and the orchestrator needs the lease's identity
+        #: (item, holder, expired flag) to judge them.
+        self._issued: Dict[int, Lease] = {}
+        self._next_ticket = 0
+        self.n_expired = 0
+
+    # -- lifecycle ---------------------------------------------------------
+    def issue(self, item: Any, holder: str) -> Lease:
+        lease = Lease(self._next_ticket, item, holder, self.clock)
+        self._next_ticket += 1
+        self._live[lease.ticket] = lease
+        self._issued[lease.ticket] = lease
+        return lease
+
+    def release(self, ticket: int) -> Optional[Lease]:
+        """Settle a lease (its work finished or failed while still live).
+        Returns the lease, or ``None`` if it was already expired/unknown."""
+        return self._live.pop(ticket, None)
+
+    def lookup(self, ticket: int) -> Lease:
+        """The lease a completion ticket refers to, live or expired."""
+        return self._issued[ticket]
+
+    def expire_stale(self) -> List[Lease]:
+        """Mark and remove every live lease whose heartbeat is older than
+        ``timeout_s``; returns them (oldest ticket first)."""
+        now = self.clock()
+        stale = [
+            lease for lease in self._live.values()
+            if now - lease.last_beat > self.timeout_s
+        ]
+        for lease in stale:
+            lease.expired = True
+            del self._live[lease.ticket]
+            self.n_expired += 1
+        return stale
+
+    # -- queries -----------------------------------------------------------
+    def held_by(self, holder: str) -> int:
+        """How many live leases ``holder`` currently holds (the
+        work-stealing dispatch loop caps this at ``max_inflight``)."""
+        return sum(1 for lease in self._live.values()
+                   if lease.holder == holder)
+
+    def live(self) -> Iterator[Lease]:
+        return iter(list(self._live.values()))
+
+    def __len__(self) -> int:
+        return len(self._live)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"LeaseTable({len(self._live)} live, "
+            f"{self.n_expired} expired, timeout={self.timeout_s}s)"
+        )
+
+
+__all__ = ["Lease", "LeaseTable"]

@@ -42,7 +42,8 @@ from repro.common.jsonutil import canonical_json
 from repro.service.client import ServiceClient, ServiceError
 from repro.service.events import TERMINAL_EVENTS
 from repro.sweep.grid import ExperimentPoint, SweepSpec
-from repro.sweep.runner import RetryPolicy, SweepInterrupted, run_sweep
+from repro.exec.attempts import RetryPolicy
+from repro.sweep.runner import SweepInterrupted, run_sweep
 from repro.sweep.store import ResultStore
 
 #: Heartbeat callback type: the coordinator's lease-renewal hook.

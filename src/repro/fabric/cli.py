@@ -32,8 +32,8 @@ from repro.fabric.scheduler import (
     DEFAULT_SHARD_SIZE,
     FabricCoordinator,
 )
+from repro.exec.attempts import RetryPolicy
 from repro.sweep.grid import SweepSpec, paper_spec, smoke_spec
-from repro.sweep.runner import RetryPolicy
 from repro.sweep.store import ResultStore
 
 DEFAULT_STORE = "sweeps/store.jsonl"
@@ -123,6 +123,9 @@ def _cmd_run(args: argparse.Namespace) -> int:
             _build_backends(args, scratch_dir),
             shard_size=args.shard_size,
             lease_timeout_s=args.lease_timeout,
+            max_inflight_shards=args.max_inflight_shards,
+            checkpoint_path=args.checkpoint,
+            checkpoint_interval_s=args.checkpoint_interval,
             log=print if args.verbose else None,
         )
         print(
@@ -133,6 +136,16 @@ def _cmd_run(args: argparse.Namespace) -> int:
             summary = coordinator.run(spec, store)
         except FabricError as exc:
             print(f"fabric failed: {exc}", file=sys.stderr)
+            if exc.summary is not None and exc.summary.failures:
+                # Same per-point failure lines the sweep CLI prints — the
+                # two summaries share one failure schema.
+                for failure in exc.summary.failures.values():
+                    print(
+                        f"FAILED {failure.label}: {failure.error}: "
+                        f"{failure.message} ({failure.attempts} attempt(s), "
+                        f"{failure.elapsed_s:.2f}s)",
+                        file=sys.stderr,
+                    )
             print(
                 "the merged prefix is durable — re-run the same command "
                 "to resume",
@@ -144,7 +157,8 @@ def _cmd_run(args: argparse.Namespace) -> int:
             print(
                 f"  {name}: {stats['shards_completed']} shard(s), "
                 f"state {stats['state']} "
-                f"({stats['n_successes']} ok / {stats['n_failures']} failed)"
+                f"({stats['n_successes']} ok / {stats['n_failures']} failed, "
+                f"inflight {stats['inflight_leases']}/{stats['max_inflight']})"
             )
         return 0
     finally:
@@ -160,12 +174,17 @@ def _cmd_probe(args: argparse.Namespace) -> int:
     scratch_dir = tempfile.mkdtemp(prefix="repro-fabric-probe-")
     try:
         backends = _build_backends(args, scratch_dir)
+        coordinator = FabricCoordinator(
+            backends, max_inflight_shards=args.max_inflight_shards,
+        )
+        counts = coordinator.lease_counts()
         all_up = True
         for backend in backends:
             up = backend.probe()
             all_up = all_up and up
             print(f"{backend.name}: {'up' if up else 'DOWN'} "
-                  f"({backend.describe()})")
+                  f"({backend.describe()}; inflight "
+                  f"{counts[backend.name]}/{coordinator.max_inflight_shards})")
         return 0 if all_up else 1
     finally:
         shutil.rmtree(scratch_dir, ignore_errors=True)
@@ -201,6 +220,21 @@ def build_parser() -> argparse.ArgumentParser:
     run_p.add_argument("--lease-timeout", type=float, default=60.0,
                        help="seconds without a heartbeat before a shard's "
                             "lease expires and it is requeued (default 60)")
+    run_p.add_argument("--max-inflight-shards", type=int, default=1,
+                       metavar="N",
+                       help="leases each backend may hold at once (work-"
+                            "stealing pipelining; default 1 = one shard "
+                            "per backend)")
+    run_p.add_argument("--checkpoint", default=None, metavar="PATH",
+                       help="coordinator checkpoint file: periodically "
+                            "snapshot run state so a replacement "
+                            "coordinator started on the same store + "
+                            "checkpoint resumes mid-run (default: off)")
+    run_p.add_argument("--checkpoint-interval", type=float, default=5.0,
+                       metavar="S",
+                       help="seconds between checkpoint snapshots "
+                            "(default 5; merges always snapshot "
+                            "immediately)")
     run_p.add_argument("--retries", type=int, default=2,
                        help="transient-error retries per RPC / per failing "
                             "point (default 2)")
@@ -227,6 +261,9 @@ def build_parser() -> argparse.ArgumentParser:
                          help="include the (always-up) local backend")
     probe_p.add_argument("--rpc-timeout", type=float, default=5.0,
                          help="probe timeout in seconds (default 5)")
+    probe_p.add_argument("--max-inflight-shards", type=int, default=1,
+                         metavar="N",
+                         help="lease cap to report against (matches run)")
     probe_p.set_defaults(func=_cmd_probe)
     return parser
 

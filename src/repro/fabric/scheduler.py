@@ -1,8 +1,14 @@
-"""Shard scheduler: leases, failover, and the deterministic merger.
+"""Shard scheduler: leases, failover, work stealing, and the merger.
 
 The coordinator turns one sweep spec into the same store bytes a
 single-host ``python -m repro.sweep run`` would produce, using however
-many backends happen to survive.  The pieces:
+many backends happen to survive.  Since the :mod:`repro.exec` refactor
+the coordinator holds no private coordination machinery: leases come
+from :class:`repro.exec.lease.LeaseTable`, attempt budgets from
+:class:`repro.exec.attempts.AttemptTracker`, the merge frontier is a
+:class:`repro.exec.frontier.FlushFrontier` whose emit callback is
+``store.merge``, and checkpoints ride on :mod:`repro.exec.checkpoint`.
+The pieces:
 
 **Planning.**  The spec is expanded and deduped into the canonical
 expansion-order point list (exactly as the pool runner and the service do
@@ -12,8 +18,13 @@ expansion-order prefix plus whatever earlier fabric runs merged — are
 chopped into contiguous :class:`~repro.fabric.backends.Shard` ranges of at
 most ``shard_size`` points.
 
-**Dispatch under lease.**  Each shard is handed to one available backend
-(health-gated, one shard per backend at a time) on a worker thread.  The
+**Dispatch under lease, with work stealing.**  Each available
+(health-gated) backend may hold up to ``max_inflight_shards`` leases at
+once; the default of 1 preserves the original one-shard-per-backend
+behaviour.  Whenever a backend has spare lease capacity it *steals* the
+oldest unleased shard (lowest shard ordinal first — the shard the merge
+frontier is waiting on), idle-most backends first, so a fast peer
+pipelines several shards while a slow one grinds on its first.  The
 backend's progress callbacks renew the shard's lease; a lease that misses
 heartbeats for ``lease_timeout_s`` is declared expired — the backend is
 charged a failure, and the shard is requeued for a surviving backend.
@@ -22,16 +33,33 @@ finishes anyway is harmless, because its result is accepted only if the
 shard is still open, and record-level dedup (content keys + byte-identical
 merge) makes duplicates invisible.
 
-**Deterministic merge.**  Completed shards buffer in memory and are folded
-into the store strictly in shard order (a merge frontier, the inter-host
-mirror of the runner's flush frontier).  Records therefore land in the
-file in expansion order no matter which backend finished first — this is
-what makes the final store byte-identical to the fault-free single-host
-store under any cluster shape, assignment, failover, or retry history
-(the abelian-networks property the reproduction is built around).  A
-shard that keeps failing everywhere exhausts ``max_shard_attempts`` and
-raises :class:`~repro.common.errors.FabricError`; everything merged up to
-that point stays durable, and re-running resumes from the cached prefix.
+**Deterministic merge.**  Completed shards buffer in the merge frontier
+and are folded into the store strictly in shard order (the inter-host
+mirror of the runner's flush frontier — literally the same class now).
+Records therefore land in the file in expansion order no matter which
+backend finished first — this is what makes the final store
+byte-identical to the fault-free single-host store under any cluster
+shape, assignment, failover, or retry history (the abelian-networks
+property the reproduction is built around).  A shard that keeps failing
+everywhere exhausts ``max_shard_attempts`` and raises
+:class:`~repro.common.errors.FabricError` carrying a partial
+:class:`FabricSummary` (per-point ``failures`` in the sweep summary's
+schema, plus ``n_discarded`` for completed-but-unmerged work); everything
+merged up to that point stays durable, and re-running resumes from the
+cached prefix.
+
+**Checkpoint / handoff.**  With ``checkpoint_path`` set, the coordinator
+periodically snapshots its plan, merge position, attempt counters, and
+completed-but-unmerged shard records (atomic tmp + replace).  A
+replacement coordinator started on the same store + checkpoint — e.g.
+after the original was SIGKILLed mid-run — resumes where it stopped:
+the merged prefix is recomputed from the *store* (never trusted from the
+checkpoint, since the coordinator may die between a merge and the next
+snapshot), buffered completions are rehydrated instead of recomputed,
+and attempt budgets carry over so a failing shard does not get a fresh
+budget by crashing its supervisor.  The checkpoint is cleared on any
+terminal outcome (success or budget exhaustion); it exists to survive
+crashes, not to memoise failures.
 """
 
 from __future__ import annotations
@@ -39,24 +67,45 @@ from __future__ import annotations
 import queue
 import threading
 import time
-from collections import OrderedDict, deque
+from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
-from repro.common.errors import FabricError
+from repro.common.errors import ConfigurationError, FabricError, StoreError
+from repro.common.jsonutil import content_digest
+from repro.exec.attempts import AttemptTracker
+from repro.exec.checkpoint import (
+    clear_checkpoint,
+    read_checkpoint,
+    write_checkpoint,
+)
+from repro.exec.frontier import FlushFrontier, dedup_ordered
+from repro.exec.lease import LeaseTable
 from repro.fabric.backends import PeerBackend, RunnerBackend, Shard
 from repro.fabric.health import DEAD, BackendHealth
 from repro.sweep.grid import ExperimentPoint, SweepSpec
+from repro.sweep.runner import FailureRecord
 from repro.sweep.store import ResultStore
 
 #: Default shard size: small enough that a lost peer forfeits little work,
 #: large enough to amortise one job submission per shard.
 DEFAULT_SHARD_SIZE = 8
 
+#: Checkpoint payload schema version; bump on incompatible layout changes
+#: (a mismatched version is simply ignored and the run re-plans fresh).
+CHECKPOINT_VERSION = 1
+
 
 @dataclass
 class FabricSummary:
-    """What one coordinated run did, across every backend."""
+    """What one coordinated run did, across every backend.
+
+    The failure schema is shared with the sweep runner's ``SweepSummary``:
+    ``failures`` maps point keys to the same
+    :class:`~repro.sweep.runner.FailureRecord` and ``n_discarded`` counts
+    computed-but-unpersisted points, so tooling that consumes one summary
+    consumes the other unchanged.
+    """
 
     n_points: int                 # deduped points in the spec
     n_cached: int                 # already in the store when the run began
@@ -66,6 +115,13 @@ class FabricSummary:
     n_expired_leases: int = 0     # leases lost to missed heartbeats
     elapsed_s: float = 0.0
     degraded: bool = False        # peers were configured but all ended dead
+    #: ``point key -> FailureRecord`` for the shard that exhausted its
+    #: attempt budget (same schema as ``SweepSummary.failures``).
+    failures: Dict[str, FailureRecord] = field(default_factory=dict)
+    #: Records completed by backends but never merged because an earlier
+    #: shard's failure blocked the merge frontier — recomputed (or
+    #: cache-hit) on the next run, like the sweep's computed-but-unflushed.
+    n_discarded: int = 0
     #: backend name -> health/status counters (shards completed included).
     backends: Dict[str, Dict[str, Any]] = field(default_factory=dict)
 
@@ -79,6 +135,10 @@ class FabricSummary:
             tail += f"; {self.n_requeues} shard requeue(s)"
         if self.n_expired_leases:
             tail += f"; {self.n_expired_leases} lease(s) expired"
+        if self.failures:
+            tail += f"; {len(self.failures)} FAILED"
+        if self.n_discarded:
+            tail += f"; {self.n_discarded} computed-but-unflushed"
         if self.degraded:
             tail += "; degraded to local-only (all peers down)"
         return (
@@ -94,10 +154,7 @@ def dedup_points(
 ) -> "OrderedDict[str, ExperimentPoint]":
     """Unique points in expansion order — the canonical list every layer
     (pool runner, service shard jobs, fabric) agrees on index by index."""
-    keyed: "OrderedDict[str, ExperimentPoint]" = OrderedDict()
-    for point in points:
-        keyed.setdefault(point.key(), point)
-    return keyed
+    return dedup_ordered((point.key(), point) for point in points)
 
 
 def plan_shards(
@@ -143,23 +200,38 @@ def plan_shards(
     return shards
 
 
-class _Lease:
-    """One shard's claim on one backend, renewed by heartbeats."""
-
-    __slots__ = ("shard", "backend", "clock", "last_beat", "expired")
-
-    def __init__(self, shard: Shard, backend: RunnerBackend,
-                 clock: Callable[[], float]) -> None:
-        self.shard = shard
-        self.backend = backend
-        self.clock = clock
-        self.last_beat = clock()
-        self.expired = False
-
-    def beat(self) -> None:
-        # A bare float store: atomic under the GIL, safe to call from the
-        # worker thread while the coordinator loop reads it.
-        self.last_beat = self.clock()
+def _shards_from_ranges(
+    ranges: Any,
+    keyed: "OrderedDict[str, ExperimentPoint]",
+) -> Optional[List[Shard]]:
+    """Reconstruct a checkpointed shard plan from its ``(start, stop)``
+    ranges over the deterministic expansion; ``None`` on any anomaly."""
+    if not isinstance(ranges, list) or not ranges:
+        return None
+    items = list(keyed.items())
+    shards: List[Shard] = []
+    prev_stop = 0
+    try:
+        for position, entry in enumerate(ranges):
+            index = int(entry["index"])
+            start = int(entry["start"])
+            stop = int(entry["stop"])
+            if index != position:
+                return None
+            if not (0 <= start < stop <= len(items)) or start < prev_stop:
+                return None
+            chunk = items[start:stop]
+            shards.append(Shard(
+                index=index,
+                start=start,
+                stop=stop,
+                points=tuple(point for _key, point in chunk),
+                keys=tuple(key for key, _point in chunk),
+            ))
+            prev_stop = stop
+    except (KeyError, TypeError, ValueError):
+        return None
+    return shards
 
 
 class FabricCoordinator:
@@ -174,6 +246,9 @@ class FabricCoordinator:
         dead_after: int = 3,
         cooldown_s: float = 10.0,
         poll_s: float = 0.05,
+        max_inflight_shards: int = 1,
+        checkpoint_path: Optional[str] = None,
+        checkpoint_interval_s: float = 5.0,
         log: Optional[Callable[[str], None]] = None,
         clock: Callable[[], float] = time.monotonic,
     ) -> None:
@@ -184,6 +259,15 @@ class FabricCoordinator:
         names = [backend.name for backend in backends]
         if len(set(names)) != len(names):
             raise FabricError(f"backend names must be unique, got {names}")
+        if max_inflight_shards < 1:
+            raise ConfigurationError(
+                f"max_inflight_shards must be >= 1, got {max_inflight_shards}"
+            )
+        if checkpoint_interval_s <= 0:
+            raise ConfigurationError(
+                f"checkpoint_interval_s must be positive, "
+                f"got {checkpoint_interval_s}"
+            )
         self.backends = list(backends)
         self.shard_size = shard_size
         self.lease_timeout_s = lease_timeout_s
@@ -193,6 +277,9 @@ class FabricCoordinator:
             max_shard_attempts if max_shard_attempts is not None
             else 2 * len(self.backends) + 2
         )
+        self.max_inflight_shards = max_inflight_shards
+        self.checkpoint_path = checkpoint_path
+        self.checkpoint_interval_s = checkpoint_interval_s
         self.poll_s = poll_s
         self.log = log
         self.clock = clock
@@ -207,6 +294,8 @@ class FabricCoordinator:
         self._completed_by: Dict[str, int] = {
             backend.name: 0 for backend in self.backends
         }
+        #: The live lease table while a run executes (probe/stats read it).
+        self._leases: Optional[LeaseTable] = None
 
     def _say(self, message: str) -> None:
         if self.log is not None:
@@ -216,33 +305,58 @@ class FabricCoordinator:
         """One liveness probe per backend (does not change health state)."""
         return {backend.name: backend.probe() for backend in self.backends}
 
+    def lease_counts(self) -> Dict[str, int]:
+        """Live in-flight lease count per backend (0s when no run is
+        executing) — the numbers the work-stealing cap compares against
+        ``max_inflight_shards``."""
+        table = self._leases
+        return {
+            backend.name: (table.held_by(backend.name) if table else 0)
+            for backend in self.backends
+        }
+
     # -- the run -----------------------------------------------------------
     def run(self, spec: SweepSpec, store: ResultStore) -> FabricSummary:
         """Compute every pending point of ``spec`` into ``store``.
 
         Returns a :class:`FabricSummary`; raises
-        :class:`~repro.common.errors.FabricError` when a shard exhausts
-        its attempt budget on every available backend.  The store's merged
-        prefix is durable either way — re-running resumes from it.
+        :class:`~repro.common.errors.FabricError` (with the partial
+        summary attached) when a shard exhausts its attempt budget on
+        every available backend.  The store's merged prefix is durable
+        either way — re-running resumes from it.
         """
         t0 = time.monotonic()
         keyed = dedup_points(spec.expand())
-        shards = plan_shards(keyed, store, self.shard_size)
+        shards, resume = self._plan_or_resume(spec, keyed, store)
         n_points = len(keyed)
-        n_pending = sum(shard.n_points for shard in shards)
+        n_cached = sum(1 for key in keyed if key in store)
         summary = FabricSummary(
             n_points=n_points,
-            n_cached=n_points - n_pending,
+            n_cached=n_cached,
             n_computed=0,
             n_shards=len(shards),
         )
         self._say(
             f"fabric: spec {spec.name!r}: {n_points} points, "
-            f"{summary.n_cached} cached, {n_pending} pending in "
+            f"{n_cached} cached, {n_points - n_cached} pending in "
             f"{len(shards)} shard(s) across {len(self.backends)} backend(s)"
         )
-        if shards:
-            self._execute(spec, store, shards, summary)
+        try:
+            if shards:
+                self._execute(spec, store, shards, summary, resume)
+        except FabricError as exc:
+            summary.elapsed_s = time.monotonic() - t0
+            summary.degraded = self._is_degraded()
+            summary.backends = self._backend_stats()
+            if exc.summary is None:
+                exc.summary = summary
+            # Terminal outcome: the checkpoint must not memoise the
+            # exhausted attempt budget into the next (fresh) run.
+            if self.checkpoint_path:
+                clear_checkpoint(self.checkpoint_path)
+            raise
+        if self.checkpoint_path:
+            clear_checkpoint(self.checkpoint_path)
         summary.elapsed_s = time.monotonic() - t0
         # Degradation is snapshotted BEFORE the stats pass: status() reads
         # the promoting ``state`` property, which can flip a dead peer to
@@ -252,12 +366,40 @@ class FabricCoordinator:
         summary.backends = self._backend_stats()
         return summary
 
+    def _plan_or_resume(
+        self,
+        spec: SweepSpec,
+        keyed: "OrderedDict[str, ExperimentPoint]",
+        store: ResultStore,
+    ) -> Tuple[List[Shard], Optional[Dict[str, Any]]]:
+        """The shard plan for this run: reconstructed from a live
+        checkpoint when one matches this spec, planned fresh otherwise."""
+        if self.checkpoint_path:
+            data = read_checkpoint(self.checkpoint_path)
+            if (
+                data is not None
+                and data.get("version") == CHECKPOINT_VERSION
+                and data.get("spec_digest") == _spec_digest(spec)
+            ):
+                shards = _shards_from_ranges(data.get("shards"), keyed)
+                if shards is not None:
+                    return shards, data
+            if data is not None:
+                self._say(
+                    "fabric: ignoring checkpoint (stale or mismatched); "
+                    "planning fresh from the store"
+                )
+        return plan_shards(keyed, store, self.shard_size), None
+
     def _backend_stats(self) -> Dict[str, Dict[str, Any]]:
+        counts = self.lease_counts()
         stats = {}
         for backend in self.backends:
             entry = self.health[backend.name].status()
             entry["kind"] = type(backend).__name__
             entry["shards_completed"] = self._completed_by[backend.name]
+            entry["inflight_leases"] = counts[backend.name]
+            entry["max_inflight"] = self.max_inflight_shards
             stats[backend.name] = entry
         return stats
 
@@ -270,39 +412,81 @@ class FabricCoordinator:
         )
 
     def _execute(self, spec: SweepSpec, store: ResultStore,
-                 shards: List[Shard], summary: FabricSummary) -> None:
-        pending: "deque[Shard]" = deque(shards)
-        attempts: Dict[int, int] = {shard.index: 0 for shard in shards}
-        completed: Dict[int, List[Dict[str, Any]]] = {}
-        merged_through = 0            # shards [0, merged_through) are merged
-        leases: Dict[int, _Lease] = {}   # ticket -> live lease
-        busy: set = set()                # backend names holding a lease
+                 shards: List[Shard], summary: FabricSummary,
+                 resume: Optional[Dict[str, Any]] = None) -> None:
+        leases = LeaseTable(self.lease_timeout_s, clock=self.clock)
+        self._leases = leases
+        attempts = AttemptTracker(self.max_shard_attempts)
+        first_dispatch: Dict[int, float] = {}
         done_q: "queue.Queue[Tuple[int, Optional[List[Dict[str, Any]]], Optional[BaseException]]]" = queue.Queue()
-        tickets: Dict[int, _Lease] = {}  # every lease ever issued
         threads: List[threading.Thread] = []
-        next_ticket = 0
+        spec_digest = _spec_digest(spec)
+
+        def merge_shard(index: int, records: List[Dict[str, Any]]) -> None:
+            summary.n_computed += store.merge(records)
+            self._say(
+                f"fabric: merged {shards[index].label()} "
+                f"({len(records)} record(s))"
+            )
+
+        frontier = FlushFrontier(len(shards), emit=merge_shard)
+
+        if resume is not None:
+            self._rehydrate(frontier, attempts, summary, shards,
+                            store, resume)
+
+        pending: List[Shard] = [
+            shard for shard in shards
+            if not frontier.is_complete(shard.index)
+        ]
+
+        # -- checkpointing -------------------------------------------------
+        ckpt_state = {"dirty": False, "last": self.clock()}
+
+        def save_checkpoint(force: bool = False) -> None:
+            if not self.checkpoint_path:
+                return
+            now = self.clock()
+            if not force and not (
+                ckpt_state["dirty"]
+                and now - ckpt_state["last"] >= self.checkpoint_interval_s
+            ):
+                return
+            write_checkpoint(self.checkpoint_path, {
+                "version": CHECKPOINT_VERSION,
+                "spec_digest": spec_digest,
+                "shard_size": self.shard_size,
+                "shards": [
+                    {"index": s.index, "start": s.start, "stop": s.stop}
+                    for s in shards
+                ],
+                "merged_through": frontier.position,
+                "attempts": attempts.snapshot(),
+                "completed": {
+                    str(index): records
+                    for index, records in frontier.buffered().items()
+                },
+                "n_requeues": summary.n_requeues,
+                "n_expired_leases": summary.n_expired_leases,
+            })
+            ckpt_state["dirty"] = False
+            ckpt_state["last"] = now
 
         def dispatch(shard: Shard, backend: RunnerBackend) -> None:
-            nonlocal next_ticket
-            ticket = next_ticket
-            next_ticket += 1
-            lease = _Lease(shard, backend, self.clock)
-            leases[ticket] = lease
-            tickets[ticket] = lease
-            busy.add(backend.name)
-            attempts[shard.index] += 1
+            lease = leases.issue(shard, backend.name)
+            first_dispatch.setdefault(shard.index, self.clock())
+            n = attempts.charge(shard.index)
             self._say(
-                f"fabric: {shard.label()} -> {backend.name} "
-                f"(attempt {attempts[shard.index]})"
+                f"fabric: {shard.label()} -> {backend.name} (attempt {n})"
             )
 
             def work() -> None:
                 try:
                     records = backend.run_shard(spec, shard, lease.beat)
                 except BaseException as exc:
-                    done_q.put((ticket, None, exc))
+                    done_q.put((lease.ticket, None, exc))
                 else:
-                    done_q.put((ticket, records, None))
+                    done_q.put((lease.ticket, records, None))
 
             thread = threading.Thread(
                 target=work, daemon=True,
@@ -316,30 +500,61 @@ class FabricCoordinator:
             for shard in stale:
                 pending.remove(shard)
 
-        def requeue(shard: Shard, reason: str) -> None:
-            if shard.index in completed:
-                return
-            if attempts[shard.index] >= self.max_shard_attempts:
-                raise FabricError(
-                    f"{shard.label()} failed {attempts[shard.index]} "
-                    f"time(s) across the fabric (last: {reason}); giving "
-                    f"up — {merged_through} shard(s) are merged and "
-                    "durable, re-run to resume"
+        def give_up(shard: Shard, reason: str, error_kind: str) -> None:
+            n = attempts.attempts(shard.index)
+            elapsed = self.clock() - first_dispatch.get(
+                shard.index, self.clock())
+            for key, point in zip(shard.keys, shard.points):
+                summary.failures[key] = FailureRecord(
+                    key=key,
+                    label=point.label(),
+                    attempts=n,
+                    error=error_kind,
+                    message=reason,
+                    elapsed_s=elapsed,
                 )
+            # Records computed by backends but stuck behind the failed
+            # shard: counted (point granularity, like the sweep summary)
+            # and dropped — the next run recomputes or cache-hits them.
+            summary.n_discarded += sum(
+                len(records) for records in frontier.buffered().values()
+            )
+            frontier.discard()
+            raise FabricError(
+                f"{shard.label()} failed {n} time(s) across the fabric "
+                f"(last: {reason}); giving up — {frontier.position} "
+                "shard(s) are merged and durable, re-run to resume"
+            )
+
+        def requeue(shard: Shard, reason: str, error_kind: str) -> None:
+            if frontier.is_complete(shard.index):
+                return
+            if attempts.exhausted(shard.index):
+                give_up(shard, reason, error_kind)
             summary.n_requeues += 1
+            ckpt_state["dirty"] = True
             pending.append(shard)
             self._say(f"fabric: requeueing {shard.label()}: {reason}")
 
-        while merged_through < len(shards):
-            # Dispatch to every free, healthy backend.
-            for backend in self.backends:
-                if not pending:
+        save_checkpoint(force=True)
+
+        while not frontier.done:
+            # Work-stealing dispatch: every available backend may hold up
+            # to ``max_inflight_shards`` leases; the idle-most backend
+            # (ties broken in configured order) steals the oldest
+            # unleased shard — the one the merge frontier needs next.
+            while pending:
+                candidates = [
+                    backend for backend in self.backends
+                    if self.health[backend.name].available()
+                    and leases.held_by(backend.name) < self.max_inflight_shards
+                ]
+                if not candidates:
                     break
-                if backend.name in busy:
-                    continue
-                if not self.health[backend.name].available():
-                    continue
-                dispatch(pending.popleft(), backend)
+                candidates.sort(key=lambda b: leases.held_by(b.name))
+                shard = min(pending, key=lambda s: s.index)
+                pending.remove(shard)
+                dispatch(shard, candidates[0])
 
             # Wait for one completion (or just tick), then drain whatever
             # else has queued up: fast backends can finish several shards
@@ -357,11 +572,10 @@ class FabricCoordinator:
                 except queue.Empty:
                     break
             for ticket, records, exc in arrivals:
-                lease = tickets[ticket]
-                shard, backend = lease.shard, lease.backend
+                lease = leases.lookup(ticket)
+                shard, holder = lease.item, lease.holder
                 if not lease.expired:
-                    leases.pop(ticket, None)
-                    busy.discard(backend.name)
+                    leases.release(ticket)
                 if exc is None and records is not None:
                     # A late result from an expired lease is still a
                     # success — accepted iff the shard is still open
@@ -371,54 +585,98 @@ class FabricCoordinator:
                     # must not resurrect a DEAD peer straight to ALIVE,
                     # bypassing the probation trial health.py documents.
                     if not lease.expired:
-                        self.health[backend.name].record_success()
-                    if shard.index not in completed:
-                        completed[shard.index] = records
-                        self._completed_by[backend.name] += 1
+                        self.health[holder].record_success()
+                    if not frontier.is_complete(shard.index):
+                        self._completed_by[holder] += 1
                         drop_from_pending(shard.index)
+                        ckpt_state["dirty"] = True
+                        if frontier.complete(shard.index, records):
+                            # The merge frontier advanced: snapshot now —
+                            # this is the state a handoff must not lose.
+                            save_checkpoint(force=True)
                 else:
                     self._say(
                         f"fabric: {shard.label()} failed on "
-                        f"{backend.name}: {exc}"
+                        f"{holder}: {exc}"
                     )
                     if not lease.expired:
-                        self.health[backend.name].record_failure()
-                        requeue(shard, f"{type(exc).__name__}: {exc}")
+                        self.health[holder].record_failure()
+                        requeue(shard, f"{type(exc).__name__}: {exc}",
+                                type(exc).__name__)
 
             # Expire leases that stopped heartbeating.
-            now = self.clock()
-            for ticket, lease in list(leases.items()):
-                if now - lease.last_beat <= self.lease_timeout_s:
-                    continue
-                lease.expired = True
-                del leases[ticket]
-                busy.discard(lease.backend.name)
-                self.health[lease.backend.name].record_failure()
+            for lease in leases.expire_stale():
+                self.health[lease.holder].record_failure()
                 summary.n_expired_leases += 1
+                ckpt_state["dirty"] = True
                 requeue(
-                    lease.shard,
-                    f"lease expired on {lease.backend.name} "
+                    lease.item,
+                    f"lease expired on {lease.holder} "
                     f"(no heartbeat for {self.lease_timeout_s:.1f}s)",
+                    "LeaseExpired",
                 )
 
-            # Merge frontier: fold finished shards in, strictly in order.
-            while merged_through < len(shards) and \
-                    merged_through in completed:
-                records = completed[merged_through]
-                summary.n_computed += store.merge(records)
-                self._say(
-                    f"fabric: merged {shards[merged_through].label()} "
-                    f"({len(records)} record(s))"
-                )
-                merged_through += 1
+            save_checkpoint()
 
         # Give promptly-finishing workers a moment to park; stragglers are
         # daemon threads blocked in bounded (timeout-bearing) I/O.
         for thread in threads:
             thread.join(timeout=0.2)
 
+    def _rehydrate(self, frontier: FlushFrontier, attempts: AttemptTracker,
+                   summary: FabricSummary, shards: List[Shard],
+                   store: ResultStore,
+                   resume: Dict[str, Any]) -> None:
+        """Restore coordinator state from a checkpoint written by a
+        predecessor on the same store.
+
+        The merged prefix is recomputed from the store — the predecessor
+        may have died between a merge and its next snapshot, and the
+        store (not the checkpoint) is the durable truth.  A checkpointed
+        ``completed`` payload that conflicts with the store is dropped and
+        recomputed; losing checkpoint state costs work, never bytes.
+        """
+        merged = 0
+        for shard in shards:
+            if all(key in store for key in shard.keys):
+                merged += 1
+            else:
+                break
+        frontier.advance_to(merged)
+        try:
+            attempts.restore(resume.get("attempts", {}) or {}, key=int)
+            summary.n_requeues = int(resume.get("n_requeues", 0))
+            summary.n_expired_leases = int(resume.get("n_expired_leases", 0))
+            completed = resume.get("completed", {}) or {}
+            rehydrated = sorted(
+                (int(raw_index), records)
+                for raw_index, records in completed.items()
+            )
+        except (TypeError, ValueError):
+            rehydrated = []
+        for index, records in rehydrated:
+            if not (0 <= index < len(shards)) or index < merged:
+                continue
+            if not isinstance(records, list):
+                continue
+            try:
+                frontier.complete(index, records)
+            except StoreError:
+                frontier.drop(index)
+        self._say(
+            f"fabric: resumed from checkpoint: {frontier.position}/"
+            f"{len(shards)} shard(s) already merged, "
+            f"{len(frontier.buffered())} rehydrated in buffer"
+        )
+
+
+def _spec_digest(spec: SweepSpec) -> str:
+    """Content digest binding a checkpoint to the spec that produced it."""
+    return content_digest({"sweep_spec": spec.to_dict()}, 16)
+
 
 __all__ = [
+    "CHECKPOINT_VERSION",
     "DEFAULT_SHARD_SIZE",
     "FabricCoordinator",
     "FabricSummary",

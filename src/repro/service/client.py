@@ -31,6 +31,7 @@ from http.client import HTTPConnection, HTTPException
 from typing import Any, Dict, Iterator, List, Optional, Tuple
 
 from repro.common.errors import ReproError
+from repro.exec.attempts import backoff_delay
 from repro.faults import (
     NET_CORRUPT,
     NET_DISCONNECT,
@@ -85,8 +86,8 @@ class ServiceClient:
 
     # -- plumbing ----------------------------------------------------------
     def _backoff(self, failed_attempts: int) -> None:
-        delay = min(self.backoff_cap_s,
-                    self.backoff_s * (2.0 ** (failed_attempts - 1)))
+        delay = backoff_delay(self.backoff_s, failed_attempts,
+                              cap_s=self.backoff_cap_s)
         if delay > 0:
             time.sleep(delay)
 

@@ -52,12 +52,13 @@ from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from repro.common.errors import ReproError
 from repro.common.jsonutil import canonical_json, content_digest
+from repro.exec.attempts import RetryPolicy
+from repro.exec.frontier import dedup_ordered
 from repro.service.events import EventBroadcaster
 from repro.service.schemas import SchemaError
 from repro.sweep.grid import ExperimentPoint, SweepSpec
 from repro.sweep.report import relative_ipc_table, rows_from_records
 from repro.sweep.runner import (
-    RetryPolicy,
     SweepInterrupted,
     SweepSummary,
     run_sweep,
@@ -523,9 +524,9 @@ class JobManager:
             return
         # Unique keys in expansion order — the same dedup run_sweep does,
         # so progress counts line up with its summary.
-        keyed: Dict[str, ExperimentPoint] = {}
-        for point in points:
-            keyed.setdefault(point.key(), point)
+        keyed: Dict[str, ExperimentPoint] = dedup_ordered(
+            (point.key(), point) for point in points
+        )
         if job.shard is not None:
             # A shard indexes the deduped expansion-order list — the exact
             # list a coordinator computed from the same spec (expansion is

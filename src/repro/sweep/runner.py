@@ -15,7 +15,15 @@ earlier point has been appended, so
   file is always an expansion-order prefix of the full sweep, and a re-run
   resumes exactly where that prefix ends via content-key cache hits.
 
-Failures are handled per point by a :class:`RetryPolicy`: failed attempts
+The frontier itself is :class:`repro.exec.frontier.FlushFrontier` — the
+shared execution-plane primitive the fabric coordinator's shard merge
+frontier is also built on — parameterized here with an emit hook that
+appends records to the store.  (Before :mod:`repro.exec` existed this
+module carried its own private frontier implementation; anything that
+imported those internals should import :mod:`repro.exec` instead.)
+
+Failures are handled per point by a :class:`RetryPolicy` (now defined in
+:mod:`repro.exec.attempts` and re-exported here): failed attempts
 retry with deterministic exponential backoff, a per-point timeout detects
 hung *and* hard-died workers (a task whose worker was killed never
 completes — the timeout is its obituary), a timed-out pool is replaced
@@ -68,12 +76,14 @@ from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
-from repro.common.errors import ConfigurationError, ReproError, SimulationError
+from repro.common.errors import ReproError, SimulationError
 from repro.engine.batch import simulate_batch
 from repro.engine.codegen import specialization_key
 from repro.engine.kernel import ENGINE_VERSION
 from repro.engine.pipeline import Pipeline, resolve_kernel_variant
 from repro.engine.trace import Trace
+from repro.exec.attempts import RetryPolicy
+from repro.exec.frontier import FlushFrontier, dedup_ordered
 from repro.faults import maybe_inject
 from repro.sweep.grid import ExperimentPoint
 from repro.sweep.store import ResultStore
@@ -246,44 +256,6 @@ def execute_batch(
     return out
 
 
-@dataclass(frozen=True)
-class RetryPolicy:
-    """How the runner treats a point whose attempt fails, hangs, or dies.
-
-    ``max_attempts`` bounds deliveries per point (1 = no retries).
-    ``backoff_s`` is the pause before the second attempt, doubling for each
-    further one — deterministic, no jitter, so chaos runs are exactly
-    reproducible.  ``timeout_s``, when set, bounds each pool-dispatched
-    attempt's wall-clock; a timed-out attempt is charged to the point and
-    its worker pool is replaced (a hung or killed worker cannot be reaped
-    individually).  Timeouts are not enforced for in-process attempts —
-    the orchestrator cannot interrupt itself safely.
-    """
-
-    max_attempts: int = 3
-    backoff_s: float = 0.1
-    timeout_s: Optional[float] = None
-
-    def __post_init__(self) -> None:
-        if self.max_attempts < 1:
-            raise ConfigurationError(
-                f"RetryPolicy.max_attempts must be >= 1, got {self.max_attempts}"
-            )
-        if self.backoff_s < 0:
-            raise ConfigurationError(
-                f"RetryPolicy.backoff_s must be non-negative, got {self.backoff_s}"
-            )
-        if self.timeout_s is not None and self.timeout_s <= 0:
-            raise ConfigurationError(
-                f"RetryPolicy.timeout_s must be positive or None, "
-                f"got {self.timeout_s}"
-            )
-
-    def backoff_for(self, failed_attempts: int) -> float:
-        """Backoff before attempt ``failed_attempts + 1`` (exponential)."""
-        return self.backoff_s * (2.0 ** (failed_attempts - 1))
-
-
 @dataclass
 class FailureRecord:
     """Provenance of one permanently-failed point (summary-only: failures
@@ -427,8 +399,9 @@ def _convert_sigterm() -> Callable[[], None]:
 
 class _FrontierExecutor:
     """Executes pending points under a :class:`RetryPolicy`, appending
-    completed records to the store in expansion order as the frontier
-    advances (see the module docstring for the layout guarantee)."""
+    completed records to the store in expansion order as the
+    :class:`repro.exec.frontier.FlushFrontier` advances (see the module
+    docstring for the layout guarantee)."""
 
     def __init__(
         self,
@@ -453,13 +426,14 @@ class _FrontierExecutor:
         self.should_stop = should_stop
         self.pool: Optional[multiprocessing.pool.Pool] = None
         self._work: List[_PointTask] = list(tasks)
-        self.buffer: Dict[int, Tuple[Dict[str, Any], float]] = {}
-        self.next_flush = 0
+        self.frontier = FlushFrontier(len(tasks), emit=self._emit)
         self.timings: Dict[str, float] = {}
         self.failures: Dict[str, FailureRecord] = {}
-        self.failed_indexes: set = set()
-        self.n_flushed = 0
         self.n_discarded = 0
+
+    @property
+    def n_flushed(self) -> int:
+        return self.frontier.n_flushed
 
     # -- lifecycle --------------------------------------------------------
     def run(self) -> None:
@@ -473,8 +447,7 @@ class _FrontierExecutor:
                 self._run_inline()
         finally:
             self._shutdown_pool()
-            self._flush()
-            self.n_discarded = len(self.buffer)
+            self.n_discarded = self.frontier.discard()
             if self.n_discarded:
                 self.say(
                     f"  {self.n_discarded} computed record(s) past the "
@@ -496,41 +469,31 @@ class _FrontierExecutor:
             self.pool = None
 
     # -- frontier ---------------------------------------------------------
-    def _flush(self) -> None:
-        """Append every buffered record the frontier has reached."""
-        while self.next_flush < len(self.tasks):
-            if self.next_flush in self.failed_indexes:
-                # A permanently-failed point blocks the frontier: appending
-                # anything past it would leave a gap that a later resume
-                # could only fill out of order, breaking the byte-layout
-                # guarantee (the store must always be an expansion-order
-                # prefix of the fault-free sweep).
-                break
-            item = self.buffer.pop(self.next_flush, None)
-            if item is None:
-                break
-            record, elapsed = item
-            self.store.append(record)
-            task = self.tasks[self.next_flush]
-            self.timings[task.key] = elapsed
-            self.n_flushed += 1
-            self.say(f"  done {task.point.label()} ({elapsed*1e3:.0f} ms)")
-            self.next_flush += 1
-            if self.on_point_done is not None:
-                # Progress hook, invoked strictly in expansion order and
-                # only after the record is durably appended — a subscriber
-                # notified of (key, index) may read the store and find it.
-                # Exceptions propagate: a broken hook aborts the sweep
-                # rather than silently dropping progress events.
-                self.on_point_done(task.key, record, task.index)
+    def _emit(self, index: int, payload: Tuple[Dict[str, Any], float]) -> None:
+        """Append one frontier-reached record durably (the
+        :class:`~repro.exec.frontier.FlushFrontier` emit hook: called
+        exactly once per completed point, strictly in expansion order —
+        a permanently-failed point blocks the frontier there, keeping the
+        store an expansion-order prefix of the fault-free sweep)."""
+        record, elapsed = payload
+        self.store.append(record)
+        task = self.tasks[index]
+        self.timings[task.key] = elapsed
+        self.say(f"  done {task.point.label()} ({elapsed*1e3:.0f} ms)")
+        if self.on_point_done is not None:
+            # Progress hook, invoked strictly in expansion order and
+            # only after the record is durably appended — a subscriber
+            # notified of (key, index) may read the store and find it.
+            # Exceptions propagate: a broken hook aborts the sweep
+            # rather than silently dropping progress events.
+            self.on_point_done(task.key, record, task.index)
 
     def _complete(self, task: _PointTask, record: Dict[str, Any],
                   elapsed: float) -> None:
-        self.buffer[task.index] = (record, elapsed)
-        self._flush()
+        self.frontier.complete(task.index, (record, elapsed))
 
     def _fail(self, task: _PointTask, exc: BaseException) -> None:
-        self.failed_indexes.add(task.index)
+        self.frontier.block(task.index)
         self.failures[task.key] = FailureRecord(
             key=task.key,
             label=task.point.label(),
@@ -700,7 +663,7 @@ class _FrontierExecutor:
         return [
             task for task in tasks
             if task.index not in settled
-            and task.index not in self.failed_indexes
+            and not self.frontier.is_blocked(task.index)
         ]
 
     # -- inline execution (no pool) ---------------------------------------
@@ -903,13 +866,11 @@ def run_sweep(
 
     # Deduplicate while preserving expansion order: a grid with repeated
     # points (e.g. overlapping specs) must not compute the same key twice.
-    unique: List[Tuple[str, ExperimentPoint]] = []
-    seen = set()
-    for point in points:
-        key = point.key()
-        if key not in seen:
-            seen.add(key)
-            unique.append((key, point))
+    # dedup_ordered is the shared canonical-ordering helper — the service
+    # job manager and the fabric coordinator number the same list.
+    unique = list(
+        dedup_ordered((point.key(), point) for point in points).items()
+    )
 
     pending = [
         (key, point) for key, point in unique if force or key not in store

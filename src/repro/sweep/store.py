@@ -40,6 +40,13 @@ class ResultStore:
     def __init__(self, path: str, load: bool = True) -> None:
         self.path = path
         self._records: Dict[str, Dict[str, Any]] = {}
+        # key -> the record's serialized line (no newline), maintained by
+        # load/append/compact.  This is merge()'s conflict reference: an
+        # N-shard merge compares candidate bytes against this cache instead
+        # of re-serializing every overlapping existing record per shard, so
+        # a full fabric merge costs one serialization per *supplied* record
+        # — O(total records), not O(shards x store size).
+        self._lines: Dict[str, str] = {}
         #: Bytes of truncated tail detected by the last load.
         self.recovered_bytes = 0
         #: Physical record lines in the file (appends included), which can
@@ -80,6 +87,7 @@ class ResultStore:
 
     def _load_locked(self) -> "ResultStore":
         self._records = {}
+        self._lines = {}
         self.recovered_bytes = 0
         self.physical_records = 0
         self._repair_offset = None
@@ -127,6 +135,7 @@ class ResultStore:
                     "recovered automatically)"
                 ) from None
             self._records[record["key"]] = record
+            self._lines[record["key"]] = line.decode("utf-8")
             self.physical_records += 1
         return self
 
@@ -138,7 +147,13 @@ class ResultStore:
                 f"result store {self.path!r}: record must have a non-empty "
                 f"string 'key', got {key!r}"
             )
-        line = canonical_json(record)
+        self._append_line(key, record, canonical_json(record))
+
+    def _append_line(self, key: str, record: Dict[str, Any],
+                     line: str) -> None:
+        """Append a pre-serialized record (``line`` = its canonical JSON,
+        no newline) — merge() passes the line it already computed for the
+        conflict scan, so a merged record is serialized exactly once."""
         parent = os.path.dirname(os.path.abspath(self.path))
         os.makedirs(parent, exist_ok=True)
         with self._lock:
@@ -152,6 +167,7 @@ class ResultStore:
                 fh.flush()
                 os.fsync(fh.fileno())
             self._records[key] = record
+            self._lines[key] = line
             self.physical_records += 1
             self._seen_size += len(line.encode("utf-8")) + 1
 
@@ -187,11 +203,9 @@ class ResultStore:
                         f"a non-empty string 'key', got {key!r}"
                     )
                 line = canonical_json(record)
-                existing = self._records.get(key)
-                against = (
-                    canonical_json(existing) if existing is not None
-                    else staged.get(key)
-                )
+                against = self._lines.get(key)
+                if against is None:
+                    against = staged.get(key)
                 if against is not None:
                     if against != line:
                         raise StoreConflictError(
@@ -203,8 +217,8 @@ class ResultStore:
                     continue
                 staged[key] = line
                 batch.append((key, record, line))
-            for key, record, _line in batch:
-                self.append(record)
+            for key, record, line in batch:
+                self._append_line(key, record, line)
         return len(batch)
 
     def compact(self) -> int:
@@ -220,10 +234,11 @@ class ResultStore:
             tmp = self.path + ".tmp"
             written = 0
             with open(tmp, "w", encoding="utf-8") as fh:
-                for record in self._records.values():
-                    line = canonical_json(record) + "\n"
-                    fh.write(line)
-                    written += len(line.encode("utf-8"))
+                for key, record in self._records.items():
+                    line = canonical_json(record)
+                    self._lines[key] = line
+                    fh.write(line + "\n")
+                    written += len(line.encode("utf-8")) + 1
                 fh.flush()
                 os.fsync(fh.fileno())
             os.replace(tmp, self.path)

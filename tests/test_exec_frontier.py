@@ -1,0 +1,209 @@
+"""Property tests for the unified flush frontier (repro.exec.frontier).
+
+The invariant every layer inherits: whatever order completions arrive in,
+whatever fails or is interrupted, the emitted sequence is always a strict
+index prefix of the fault-free order.  These tests drive the frontier
+through seeded randomized completion orders, permanent failures, and
+interrupts, and check the prefix property holds every time.
+"""
+
+import random
+
+import pytest
+
+from repro.exec.frontier import FlushFrontier, dedup_ordered
+
+
+def collecting_frontier(n):
+    emitted = []
+    frontier = FlushFrontier(n, emit=lambda i, p: emitted.append((i, p)))
+    return frontier, emitted
+
+
+def payload(i):
+    return f"payload-{i}"
+
+
+# -- property: randomized completion orders ---------------------------------
+
+class TestRandomizedOrders:
+    @pytest.mark.parametrize("seed", range(25))
+    def test_any_completion_order_emits_fault_free_order(self, seed):
+        rng = random.Random(seed)
+        n = rng.randint(0, 40)
+        order = list(range(n))
+        rng.shuffle(order)
+        frontier, emitted = collecting_frontier(n)
+        for index in order:
+            frontier.complete(index, payload(index))
+            # Prefix property holds after EVERY completion, not just at
+            # the end.
+            assert emitted == [(i, payload(i)) for i in range(len(emitted))]
+        assert frontier.done
+        assert emitted == [(i, payload(i)) for i in range(n)]
+        assert frontier.n_flushed == n
+
+    @pytest.mark.parametrize("seed", range(25))
+    def test_interrupted_run_emits_a_strict_prefix(self, seed):
+        rng = random.Random(seed + 1000)
+        n = rng.randint(1, 40)
+        order = list(range(n))
+        rng.shuffle(order)
+        cut = rng.randint(0, n)          # completions delivered before the
+        frontier, emitted = collecting_frontier(n)   # "interrupt"
+        for index in order[:cut]:
+            frontier.complete(index, payload(index))
+        # Whatever was emitted is exactly the contiguous completed prefix.
+        done = set(order[:cut])
+        expected = 0
+        while expected in done:
+            expected += 1
+        assert [i for i, _p in emitted] == list(range(expected))
+        assert frontier.position == expected
+        # Buffered leftovers are the completions past the first hole.
+        assert set(frontier.buffered()) == {i for i in done if i > expected}
+        dropped = frontier.discard()
+        assert dropped == len(done) - expected
+        assert frontier.n_discarded == dropped
+
+    @pytest.mark.parametrize("seed", range(25))
+    def test_permanent_failures_block_the_frontier(self, seed):
+        rng = random.Random(seed + 2000)
+        n = rng.randint(1, 40)
+        failed = {i for i in range(n) if rng.random() < 0.2}
+        order = list(range(n))
+        rng.shuffle(order)
+        frontier, emitted = collecting_frontier(n)
+        for index in order:
+            if index in failed:
+                frontier.block(index)
+            else:
+                frontier.complete(index, payload(index))
+        barrier = min(failed) if failed else n
+        assert [i for i, _p in emitted] == list(range(barrier))
+        assert frontier.blocked == frozenset(failed)
+        assert frontier.done == (not failed)
+        # Everything completed past the first failure was computed but can
+        # never be emitted in order: discarded, for the caller to report.
+        buffered_past = {i for i in range(barrier + 1, n)
+                         if i not in failed}
+        assert frontier.discard() == len(buffered_past)
+
+    @pytest.mark.parametrize("seed", range(10))
+    def test_duplicate_completions_keep_first_payload(self, seed):
+        rng = random.Random(seed + 3000)
+        n = rng.randint(1, 20)
+        frontier, emitted = collecting_frontier(n)
+        order = list(range(n)) * 2
+        rng.shuffle(order)
+        for index in order:
+            frontier.complete(index, payload(index))
+            frontier.complete(index, "imposter-" + str(index))
+        assert emitted == [(i, payload(i)) for i in range(n)]
+
+
+# -- directed edge cases ----------------------------------------------------
+
+class TestFrontierEdges:
+    def test_empty_frontier_is_born_done(self):
+        frontier, emitted = collecting_frontier(0)
+        assert frontier.done
+        assert emitted == []
+
+    def test_out_of_range_indexes_rejected(self):
+        frontier, _ = collecting_frontier(3)
+        with pytest.raises(IndexError):
+            frontier.complete(3, "x")
+        with pytest.raises(IndexError):
+            frontier.complete(-1, "x")
+        with pytest.raises(IndexError):
+            frontier.block(3)
+        with pytest.raises(IndexError):
+            frontier.advance_to(4)
+        with pytest.raises(ValueError):
+            FlushFrontier(-1, emit=lambda i, p: None)
+
+    def test_blocking_an_emitted_index_is_an_error(self):
+        frontier, _ = collecting_frontier(2)
+        frontier.complete(0, "a")
+        with pytest.raises(ValueError, match="already emitted"):
+            frontier.block(0)
+
+    def test_completing_a_blocked_index_is_a_noop(self):
+        frontier, emitted = collecting_frontier(2)
+        frontier.block(0)
+        assert frontier.complete(0, "a") == 0
+        assert emitted == []
+        assert not frontier.is_buffered(0)
+
+    def test_advance_to_skips_without_emitting(self):
+        frontier, emitted = collecting_frontier(5)
+        frontier.complete(3, "d")
+        frontier.advance_to(3)
+        # 0..2 skipped silently (durable elsewhere); 3 flushes immediately.
+        assert emitted == [(3, "d")]
+        assert frontier.position == 4
+        with pytest.raises(ValueError, match="backwards"):
+            frontier.advance_to(2)
+
+    def test_is_complete_covers_emitted_and_buffered(self):
+        frontier, _ = collecting_frontier(4)
+        frontier.complete(0, "a")   # emitted
+        frontier.complete(2, "c")   # buffered behind the hole at 1
+        assert frontier.is_complete(0)
+        assert frontier.is_complete(2)
+        assert not frontier.is_complete(1)
+        assert not frontier.is_complete(3)
+
+    def test_drop_reopens_a_buffered_slot(self):
+        frontier, emitted = collecting_frontier(2)
+        frontier.complete(1, "bad")
+        assert frontier.drop(1)
+        assert not frontier.drop(1)          # already gone
+        frontier.complete(1, "good")
+        frontier.complete(0, "a")
+        assert emitted == [(0, "a"), (1, "good")]
+
+    def test_emit_exception_leaves_consistent_state(self):
+        calls = []
+
+        def emit(index, p):
+            if index == 1 and not any(c == "retried" for c in calls):
+                calls.append("boom")
+                raise RuntimeError("emit failed")
+            calls.append((index, p))
+
+        frontier = FlushFrontier(3, emit=emit)
+        frontier.complete(0, "a")
+        with pytest.raises(RuntimeError):
+            frontier.complete(1, "b")
+        # Index 1 is still buffered, position did not advance.
+        assert frontier.position == 1
+        assert frontier.is_buffered(1)
+        calls.append("retried")
+        # A later completion retries the flush and the run finishes.
+        frontier.complete(2, "c")
+        assert [c for c in calls if isinstance(c, tuple)] == \
+            [(0, "a"), (1, "b"), (2, "c")]
+        assert frontier.done
+
+
+# -- dedup_ordered ----------------------------------------------------------
+
+class TestDedupOrdered:
+    def test_first_wins_in_encounter_order(self):
+        keyed = dedup_ordered([("a", 1), ("b", 2), ("a", 99), ("c", 3)])
+        assert list(keyed.items()) == [("a", 1), ("b", 2), ("c", 3)]
+
+    @pytest.mark.parametrize("seed", range(10))
+    def test_every_layer_agrees_on_the_indexing(self, seed):
+        rng = random.Random(seed + 4000)
+        pairs = [(f"k{rng.randint(0, 10)}", i) for i in range(30)]
+        keyed = dedup_ordered(pairs)
+        seen = set()
+        expected = []
+        for key, value in pairs:
+            if key not in seen:
+                seen.add(key)
+                expected.append((key, value))
+        assert list(keyed.items()) == expected

@@ -383,3 +383,52 @@ class TestMerge:
         store = ResultStore(str(tmp_path / "s.jsonl"))
         with pytest.raises(StoreError, match="non-empty string 'key'"):
             store.merge([{"value": 1}])
+
+
+class TestMergeScaling:
+    """The merge conflict scan is O(batch), not O(batch × store): every
+    record's canonical line is cached, so merging N shards costs one
+    serialization per supplied record — nothing already on disk is ever
+    re-serialized just to compare against."""
+
+    @pytest.fixture
+    def serializations(self, monkeypatch):
+        import repro.sweep.store as store_mod
+
+        real = store_mod.canonical_json
+        calls = {"n": 0}
+
+        def counting(obj):
+            calls["n"] += 1
+            return real(obj)
+
+        monkeypatch.setattr(store_mod, "canonical_json", counting)
+        return calls
+
+    def test_fresh_merge_serializes_once_per_record(
+            self, tmp_path, serializations):
+        store = ResultStore(str(tmp_path / "s.jsonl"))
+        batch = [record(f"k{i}", i) for i in range(50)]
+        serializations["n"] = 0
+        assert store.merge(batch) == 50
+        assert serializations["n"] == 50
+
+    def test_duplicate_merge_never_rescans_the_store(
+            self, tmp_path, serializations):
+        store = ResultStore(str(tmp_path / "s.jsonl"))
+        store.merge([record(f"k{i}", i) for i in range(50)])
+        serializations["n"] = 0
+        # A requeued shard delivered the same 50 records again: each
+        # candidate is serialized once and compared against its cached
+        # line — the 50 existing records are not re-serialized.
+        assert store.merge([record(f"k{i}", i) for i in range(50)]) == 0
+        assert serializations["n"] == 50
+
+    def test_reloaded_store_rebuilds_the_cache_from_file_bytes(
+            self, tmp_path, serializations):
+        path = str(tmp_path / "s.jsonl")
+        ResultStore(path).merge([record(f"k{i}", i) for i in range(20)])
+        serializations["n"] = 0
+        reloaded = ResultStore(path)      # cache comes from the raw lines
+        assert reloaded.merge([record(f"k{i}", i) for i in range(20)]) == 0
+        assert serializations["n"] == 20
